@@ -1,0 +1,63 @@
+"""Working with STG files: parse, analyse, reduce, re-derive, write back.
+
+Shows the library as an STG manipulation tool (the petrify workflow): read
+an astg-style ``.g`` specification, check implementability, reduce
+concurrency, re-derive a Petri net for the reduced behaviour with the
+theory of regions, and print the new ``.g`` text.
+
+Run:  python examples/stg_files.py
+"""
+
+from repro import (check_implementability, full_reduction, generate_sg,
+                   parse_stg, write_stg)
+from repro.sg.resynthesis import (ResynthesisError, resynthesise_stg,
+                                  verify_resynthesis)
+
+SPEC = """
+.model toy_pipeline
+.inputs req
+.outputs ack done
+.graph
+req+ ack+
+ack+ req-
+req- ack-
+ack- req+
+ack+ done+
+done+ done-
+done- ack+
+.marking { <ack-,req+> <done-,ack+> }
+.initial_state !req !ack !done
+.end
+"""
+
+
+def main() -> None:
+    stg = parse_stg(SPEC)
+    sg = generate_sg(stg)
+    report = check_implementability(sg)
+    print(f"parsed {stg.name}: {len(sg)} states")
+    print(f"  consistent={report.consistent} "
+          f"speed_independent={report.speed_independent} "
+          f"csc_conflicts={report.csc_conflict_count}")
+
+    derived = resynthesise_stg(sg, name="toy_pipeline_regions")
+    assert verify_resynthesis(sg, derived)
+    print("\nre-derived STG (theory of regions), verified isomorphic:\n")
+    print(write_stg(derived))
+
+    reduced = full_reduction(sg)
+    print(f"after full concurrency reduction: {len(reduced)} states")
+    try:
+        derived_reduced = resynthesise_stg(reduced)
+        assert verify_resynthesis(reduced, derived_reduced)
+        print("reduced behaviour also re-derivable as an STG:\n")
+        print(write_stg(derived_reduced))
+    except ResynthesisError as exc:
+        # Some reduced SGs need label splitting (each event occurrence gets
+        # its own transition) -- outside this reproduction's scope; the flow
+        # keeps working on the SG directly in that case.
+        print(f"reduced SG not directly region-synthesisable: {exc}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,1 @@
+"""Gate library, netlists, 2-input decomposition and technology mapping."""

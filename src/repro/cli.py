@@ -1,0 +1,170 @@
+"""Command-line interface: a petrify-style front end to the flow.
+
+Usage (also via ``python -m repro``)::
+
+    python -m repro check  spec.g              # implementability report
+    python -m repro sg     spec.g [--dot]      # print the state graph
+    python -m repro synth  spec.g [--full] [--no-reduce] [--keep li-,ri-]
+                                   [-W 0.5] [--max-csc 4]
+    python -m repro reduce spec.g [-o out.g]   # reduce + re-derive an STG
+
+All commands read astg-style ``.g`` files (see ``repro.petri.parser``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .encoding.csc import irresolvable_conflicts
+from .flow import implement
+from .petri.parser import read_stg, write_stg
+from .reduction.explore import full_reduction, reduce_concurrency
+from .sg.generator import generate_sg
+from .sg.properties import check_implementability
+from .sg.resynthesis import ResynthesisError, resynthesise_stg
+from .timing.delays import DelayModel
+
+
+def _parse_keep(text: Optional[str]) -> List[tuple]:
+    if not text:
+        return []
+    items = [item.strip() for item in text.split(",") if item.strip()]
+    if len(items) % 2:
+        raise SystemExit("--keep expects a comma list of event pairs, e.g. "
+                         "'li-,ri-' or 'li-,ri-,lo-,ro-'")
+    return [(items[i], items[i + 1]) for i in range(0, len(items), 2)]
+
+
+def cmd_check(args: argparse.Namespace) -> int:
+    stg = read_stg(args.spec)
+    sg = generate_sg(stg)
+    report = check_implementability(sg)
+    print(f"model {stg.name}: {len(sg)} states, {sg.arc_count()} arcs")
+    print(f"  consistent        : {report.consistent}")
+    print(f"  commutative       : {report.commutative}")
+    print(f"  output persistent : {report.output_persistent}")
+    print(f"  USC / CSC         : {report.usc} / {report.csc}")
+    print(f"  CSC conflicts     : {report.csc_conflict_count}")
+    print(f"  deadlock free     : {report.deadlock_free}")
+    hopeless = irresolvable_conflicts(sg)
+    if hopeless:
+        print(f"  note: {len(hopeless)} conflict(s) separated by input events "
+              "only (unresolvable by state-signal insertion)")
+    return 0 if report.implementable else 1
+
+
+def cmd_sg(args: argparse.Namespace) -> int:
+    sg = generate_sg(read_stg(args.spec))
+    if args.dot:
+        print(sg.to_dot())
+        return 0
+    print(f"{len(sg)} states (initial marked with *):")
+    for state in sg.states:
+        marker = "*" if state == sg.initial else " "
+        successors = ", ".join(f"{label}->{sg.code_string(target)}"
+                               for label, target in sg.successors(state).items())
+        print(f" {marker}{sg.code_string(state):12s} {successors}")
+    return 0
+
+
+def _reduced_sg(args: argparse.Namespace):
+    sg = generate_sg(read_stg(args.spec))
+    keep = _parse_keep(getattr(args, "keep", None))
+    if getattr(args, "no_reduce", False):
+        return sg, sg
+    if getattr(args, "full", False):
+        return sg, full_reduction(sg, keep_conc=keep)
+    result = reduce_concurrency(sg, keep_conc=keep, weight=args.weight)
+    return sg, result.best
+
+
+def cmd_synth(args: argparse.Namespace) -> int:
+    initial, reduced = _reduced_sg(args)
+    delays = DelayModel.by_kind(args.input_delay, args.output_delay,
+                                args.output_delay)
+    report = implement(reduced, delays=delays, max_csc_signals=args.max_csc)
+    print(f"states: {len(initial)} -> {len(reduced)} after reduction")
+    print(f"CSC signals inserted: {report.csc_signal_count} "
+          f"(resolved: {report.csc_resolved})")
+    if report.circuit is not None:
+        print(f"area: {report.area}")
+        for equation in sorted(report.circuit.equations.values()):
+            print(f"  {equation}")
+    else:
+        print(f"area (lower-bound estimate, CSC unresolved): {report.area}")
+    if report.cycle is not None:
+        print(f"critical cycle: {report.cycle_time} "
+              f"({report.input_event_count} input events)")
+    return 0 if report.csc_resolved else 1
+
+
+def cmd_reduce(args: argparse.Namespace) -> int:
+    initial, reduced = _reduced_sg(args)
+    print(f"states: {len(initial)} -> {len(reduced)}", file=sys.stderr)
+    try:
+        stg = resynthesise_stg(reduced)
+    except ResynthesisError as exc:
+        print(f"cannot re-derive an STG: {exc}", file=sys.stderr)
+        return 1
+    text = write_stg(stg)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text)
+        print(f"wrote {args.output}", file=sys.stderr)
+    else:
+        print(text, end="")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Synthesis of partially specified asynchronous systems "
+                    "(DAC 1999 reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    check = sub.add_parser("check", help="implementability report")
+    check.add_argument("spec")
+    check.set_defaults(func=cmd_check)
+
+    sg = sub.add_parser("sg", help="print the state graph")
+    sg.add_argument("spec")
+    sg.add_argument("--dot", action="store_true", help="GraphViz output")
+    sg.set_defaults(func=cmd_sg)
+
+    def add_reduction_options(command: argparse.ArgumentParser) -> None:
+        command.add_argument("spec")
+        command.add_argument("--full", action="store_true",
+                             help="reduce until no valid reduction remains")
+        command.add_argument("--no-reduce", action="store_true",
+                             help="keep maximal concurrency")
+        command.add_argument("--keep", metavar="EV1,EV2[,...]",
+                             help="event pairs whose concurrency to preserve")
+        command.add_argument("-W", "--weight", type=float, default=0.5,
+                             help="cost weight: 0 biases CSC, 1 logic size")
+
+    synth = sub.add_parser("synth", help="synthesize a circuit")
+    add_reduction_options(synth)
+    synth.add_argument("--max-csc", type=int, default=4,
+                       help="state-signal insertion budget")
+    synth.add_argument("--input-delay", type=float, default=2.0)
+    synth.add_argument("--output-delay", type=float, default=1.0)
+    synth.set_defaults(func=cmd_synth)
+
+    reduce_cmd = sub.add_parser("reduce",
+                                help="reduce concurrency, emit a new .g STG")
+    add_reduction_options(reduce_cmd)
+    reduce_cmd.add_argument("-o", "--output", help="output .g path")
+    reduce_cmd.set_defaults(func=cmd_reduce)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,1 @@
+"""Complete State Coding: conflict analysis and state-signal insertion."""

@@ -1,0 +1,102 @@
+"""CSC conflict analysis.
+
+Complete State Coding is the paper's second implementability condition: two
+states with equal binary codes must enable the same non-input events.
+Beyond the raw conflict list (:func:`repro.sg.properties.csc_conflicts`)
+this module provides the aggregates used by cost functions, reports and the
+insertion search: conflict cores, per-signal attribution, and the partition
+of states an inserted signal must distinguish.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from ..sg.graph import State, StateGraph
+from ..sg.properties import CSCConflict, csc_conflicts
+
+
+@dataclass(frozen=True)
+class ConflictCore:
+    """A set of same-code states whose excitations disagree pairwise."""
+
+    code: Tuple[int, ...]
+    states: FrozenSet[State]
+
+
+def conflict_cores(sg: StateGraph) -> List[ConflictCore]:
+    """Group CSC conflicts by shared binary code."""
+    by_code: Dict[Tuple[int, ...], Set[State]] = {}
+    for conflict in csc_conflicts(sg):
+        by_code.setdefault(conflict.code, set()).update(
+            (conflict.state_a, conflict.state_b))
+    return [ConflictCore(code, frozenset(states))
+            for code, states in sorted(by_code.items())]
+
+
+def conflict_count(sg: StateGraph) -> int:
+    """Number of CSC conflict pairs (the quantity the cost function tracks)."""
+    return len(csc_conflicts(sg))
+
+
+def signals_needing_resolution(sg: StateGraph) -> Set[str]:
+    """Non-input signals whose next-state function is ill-defined."""
+    from ..logic.functions import extract_all_functions
+
+    return {signal for signal, function in extract_all_functions(sg).items()
+            if function.has_csc_conflict}
+
+
+def estimate_csc_signals_needed(sg: StateGraph) -> int:
+    """Lower bound on the number of state signals needed.
+
+    Each inserted signal can binary-partition every conflict core, so a core
+    with ``k`` mutually conflicting states needs at least ``ceil(log2 k)``
+    signals; the bound over all cores is their maximum.
+    """
+    worst = 0
+    for core in conflict_cores(sg):
+        size = len(core.states)
+        bits = (size - 1).bit_length()
+        worst = max(worst, bits)
+    return worst
+
+
+def conflicting_state_pairs(sg: StateGraph) -> List[Tuple[State, State]]:
+    """The raw conflict pairs, ordered deterministically for search code."""
+    pairs = [(c.state_a, c.state_b) for c in csc_conflicts(sg)]
+    return sorted(pairs, key=lambda p: (str(p[0]), str(p[1])))
+
+
+def _input_reachable(sg: StateGraph, source: State, target: State) -> bool:
+    """True when ``target`` is reachable from ``source`` via input events only."""
+    frontier = [source]
+    seen = {source}
+    while frontier:
+        state = frontier.pop()
+        if state == target:
+            return True
+        for label, nxt in sg.successors(state).items():
+            if sg.is_input_label(label) and nxt not in seen:
+                seen.add(nxt)
+                frontier.append(nxt)
+    return False
+
+
+def irresolvable_conflicts(sg: StateGraph) -> List[CSCConflict]:
+    """Conflict pairs no internal state signal can separate.
+
+    If one conflicting state reaches the other through *input events only*,
+    the environment can traverse the gap faster than any circuit-controlled
+    signal can toggle; since inputs must never be delayed (Definition 5.1),
+    insertion cannot distinguish the two states -- only an interface change
+    or a concurrency reduction that removes one of them can.  Fig. 1 of the
+    paper is exactly such a case (``Req-; Req+`` between the two 11 states).
+    """
+    hopeless = []
+    for conflict in csc_conflicts(sg):
+        if (_input_reachable(sg, conflict.state_a, conflict.state_b)
+                or _input_reachable(sg, conflict.state_b, conflict.state_a)):
+            hopeless.append(conflict)
+    return hopeless

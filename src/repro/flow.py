@@ -1,0 +1,183 @@
+"""The end-to-end synthesis flow of Fig. 4.
+
+``run_flow`` strings together every stage the paper describes:
+
+1. handshake expansion with maximal reset concurrency under interface
+   constraints (:mod:`repro.hse`);
+2. state-graph generation (:mod:`repro.sg.generator`);
+3. concurrency reduction by beam search over forward reductions, honouring
+   ``Keep_Conc`` (:mod:`repro.reduction`);
+4. CSC resolution by state-signal insertion (:mod:`repro.encoding`);
+5. logic synthesis, 2-input decomposition and technology mapping
+   (:mod:`repro.circuit`);
+6. optional STG re-derivation for the reduced SG (:mod:`repro.sg.resynthesis`);
+7. performance analysis: critical cycle and input events on it
+   (:mod:`repro.timing`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from .circuit.library import DEFAULT_LIBRARY, Library
+from .circuit.synthesize import (CircuitImplementation, estimate_circuit_area,
+                                 synthesize_circuit)
+from .encoding.insertion import InsertionChoice, ResolutionResult, resolve_csc
+from .hse.constraints import InterfaceConstraint
+from .hse.expansion import expand
+from .hse.spec import PartialSpec
+from .petri.stg import STG
+from .reduction.explore import ExplorationResult, full_reduction, reduce_concurrency
+from .sg.generator import generate_sg
+from .sg.graph import StateGraph
+from .sg.properties import check_implementability, csc_conflicts
+from .sg.resynthesis import ResynthesisError, resynthesise_stg
+from .timing.critical_cycle import CycleReport, TimingError, critical_cycle
+from .timing.delays import TABLE1_DELAYS, DelayModel
+
+
+@dataclass
+class ImplementationReport:
+    """Everything Tables 1 and 2 report about one design point."""
+
+    name: str
+    sg: StateGraph
+    resolved_sg: StateGraph
+    insertions: List[InsertionChoice]
+    csc_resolved: bool
+    circuit: Optional[CircuitImplementation]
+    cycle: Optional[CycleReport]
+    stg: Optional[STG] = None
+    area_estimate: Optional[float] = None
+
+    @property
+    def csc_signal_count(self) -> int:
+        return len(self.insertions)
+
+    @property
+    def area(self) -> Optional[float]:
+        """Mapped area; falls back to the optimistic estimate when CSC is
+        unresolved (flagged by :attr:`csc_resolved`)."""
+        if self.circuit is not None:
+            return self.circuit.area
+        return self.area_estimate
+
+    @property
+    def cycle_time(self) -> Optional[float]:
+        return self.cycle.cycle_time if self.cycle is not None else None
+
+    @property
+    def input_event_count(self) -> Optional[int]:
+        return self.cycle.input_event_count if self.cycle is not None else None
+
+    def row(self) -> Tuple[str, Optional[float], int, Optional[float], Optional[int]]:
+        """(circuit, area, #CSC, critical cycle, input events) as in the tables."""
+        return (self.name, self.area, self.csc_signal_count,
+                self.cycle_time, self.input_event_count)
+
+
+def implement(sg: StateGraph, name: Optional[str] = None,
+              delays: DelayModel = TABLE1_DELAYS,
+              max_csc_signals: int = 4,
+              library: Library = DEFAULT_LIBRARY,
+              resynthesise: bool = False,
+              exact_covers: bool = True) -> ImplementationReport:
+    """Resolve CSC, synthesize the circuit and measure it."""
+    resolution = resolve_csc(sg, max_signals=max_csc_signals)
+    circuit: Optional[CircuitImplementation] = None
+    area_estimate: Optional[float] = None
+    if resolution.resolved:
+        try:
+            circuit = synthesize_circuit(resolution.sg, exact=exact_covers,
+                                         library=library)
+        except ValueError:
+            circuit = None  # 2-phase (toggle) SGs have no SOP logic
+    else:
+        try:
+            area_estimate = estimate_circuit_area(resolution.sg, library)
+        except ValueError:
+            area_estimate = None  # 2-phase (toggle) SGs have no SOP logic
+    cycle: Optional[CycleReport] = None
+    try:
+        cycle = critical_cycle(resolution.sg, delays)
+    except TimingError:
+        cycle = None
+    stg: Optional[STG] = None
+    if resynthesise:
+        try:
+            stg = resynthesise_stg(resolution.sg)
+        except ResynthesisError:
+            stg = None
+    return ImplementationReport(
+        name=name or sg.name,
+        sg=sg,
+        resolved_sg=resolution.sg,
+        insertions=resolution.insertions,
+        csc_resolved=resolution.resolved,
+        circuit=circuit,
+        cycle=cycle,
+        stg=stg,
+        area_estimate=area_estimate,
+    )
+
+
+@dataclass
+class FlowResult:
+    """Artifacts of every stage of the Fig. 4 flow."""
+
+    spec: Optional[PartialSpec]
+    expanded: STG
+    initial_sg: StateGraph
+    exploration: Optional[ExplorationResult]
+    report: ImplementationReport
+
+    @property
+    def reduced_sg(self) -> StateGraph:
+        return self.report.sg
+
+
+def run_flow(spec: PartialSpec,
+             phases: int = 4,
+             extra_constraints: Sequence[InterfaceConstraint] = (),
+             keep_conc: Iterable[Tuple[str, str]] = (),
+             reduce: bool = True,
+             full: bool = False,
+             size_frontier: int = 4,
+             weight: float = 0.5,
+             delays: DelayModel = TABLE1_DELAYS,
+             max_csc_signals: int = 4,
+             library: Library = DEFAULT_LIBRARY,
+             resynthesise: bool = False,
+             name: Optional[str] = None) -> FlowResult:
+    """The complete Fig. 4 pipeline from a partial specification.
+
+    ``reduce=False`` keeps maximal concurrency (the "Max. concurrency" rows);
+    ``full=True`` drives concurrency as low as validity allows (the "Full
+    reduction" row).  Otherwise the Fig. 9 beam search runs with the given
+    frontier size and weight ``W``.
+    """
+    expanded = expand(spec, phases=phases, extra_constraints=extra_constraints)
+    initial_sg = generate_sg(expanded)
+    exploration: Optional[ExplorationResult] = None
+    chosen = initial_sg
+    if reduce and full:
+        chosen = full_reduction(initial_sg, keep_conc=keep_conc)
+    elif reduce:
+        exploration = reduce_concurrency(initial_sg, keep_conc=keep_conc,
+                                         size_frontier=size_frontier,
+                                         weight=weight)
+        chosen = exploration.best
+    report = implement(chosen, name=name or spec.name, delays=delays,
+                       max_csc_signals=max_csc_signals, library=library,
+                       resynthesise=resynthesise)
+    return FlowResult(spec=spec, expanded=expanded, initial_sg=initial_sg,
+                      exploration=exploration, report=report)
+
+
+def implement_stg(stg: STG, name: Optional[str] = None,
+                  delays: DelayModel = TABLE1_DELAYS,
+                  **kwargs) -> ImplementationReport:
+    """Convenience: generate the SG of a complete STG and implement it."""
+    sg = generate_sg(stg)
+    return implement(sg, name=name or stg.name, delays=delays, **kwargs)

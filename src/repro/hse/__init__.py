@@ -1,0 +1,1 @@
+"""Partial specifications and handshake expansion (2-phase and 4-phase)."""

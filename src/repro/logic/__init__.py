@@ -1,0 +1,1 @@
+"""Two-level logic: cubes, Quine-McCluskey, next-state functions, complexity."""

@@ -1,0 +1,158 @@
+"""Next-state function extraction from a state graph.
+
+For each non-input signal ``a`` the next-state function is::
+
+    F_a(s) = 1  iff  a+ is enabled in s, or v_a(s) = 1 and a- is not enabled
+
+States whose code appears in both the ON and OFF sets witness a CSC conflict
+for that signal; the extractor reports them instead of silently producing an
+unimplementable cover.  Unreachable codes form the don't-care set exploited
+by minimization (this is exactly how concurrency reduction helps logic:
+fewer reachable states, larger DC set).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..petri.stg import Direction, SignalKind
+from ..sg.graph import State, StateGraph
+from .cube import Cover
+from .minimize import complement_minterms, minimize, minimize_fast
+
+Minterm = Tuple[int, ...]
+
+
+@dataclass
+class NextStateFunction:
+    """ON/OFF/DC characterisation of one signal's next-state function."""
+
+    signal: str
+    variables: List[str]
+    on: Set[Minterm]
+    off: Set[Minterm]
+    dc: Set[Minterm]
+    conflicts: Set[Minterm]
+
+    @property
+    def has_csc_conflict(self) -> bool:
+        return bool(self.conflicts)
+
+    @property
+    def num_vars(self) -> int:
+        return len(self.variables)
+
+    def minimized(self, exact: bool = False, conflict_policy: str = "on",
+                  fast: bool = False) -> Cover:
+        """Minimal cover of the function.
+
+        With conflicts present an exact cover does not exist; the policy
+        decides how conflicting codes are treated for *estimation*:
+        ``"on"`` treats them as ON (optimistic), ``"dc"`` as don't care.
+        ``fast=True`` uses the expand-and-cover heuristic minimizer (for the
+        exploration cost function).
+        """
+        on = set(self.on)
+        dc = set(self.dc)
+        if self.conflicts:
+            if conflict_policy == "on":
+                on |= self.conflicts
+            elif conflict_policy == "dc":
+                dc |= self.conflicts
+            else:
+                raise ValueError(f"unknown conflict policy {conflict_policy!r}")
+        if fast:
+            return minimize_fast(self.num_vars, on, dc)
+        return minimize(self.num_vars, on, dc, exact=exact)
+
+
+def _rising_falling_labels(sg: StateGraph, signal: str) -> Tuple[List[str], List[str]]:
+    rising, falling = [], []
+    for label in sg.labels_of_signal(signal):
+        event = sg.events[label]
+        if event.direction == Direction.RISE:
+            rising.append(label)
+        elif event.direction == Direction.FALL:
+            falling.append(label)
+        else:
+            raise ValueError(
+                f"toggle event {label!r}: derive logic from a 4-phase refinement")
+    return rising, falling
+
+
+def extract_function(sg: StateGraph, signal: str) -> NextStateFunction:
+    """Build the next-state function of one non-input signal."""
+    if sg.kinds[signal] == SignalKind.INPUT:
+        raise ValueError(f"signal {signal!r} is an input; nothing to implement")
+    rising, falling = _rising_falling_labels(sg, signal)
+    index = sg.signal_index(signal)
+    on_codes: Set[Minterm] = set()
+    off_codes: Set[Minterm] = set()
+    for state in sg.states:
+        code = sg.code_of(state)
+        rise_enabled = any(sg.target(state, label) is not None for label in rising)
+        fall_enabled = any(sg.target(state, label) is not None for label in falling)
+        next_value = 1 if (rise_enabled or (code[index] == 1 and not fall_enabled)) else 0
+        (on_codes if next_value else off_codes).add(code)
+    conflicts = on_codes & off_codes
+    on_codes -= conflicts
+    off_codes -= conflicts
+    dc = complement_minterms(len(sg.signals), on_codes | conflicts, off_codes | conflicts)
+    dc -= on_codes | off_codes
+    return NextStateFunction(signal=signal, variables=list(sg.signals),
+                             on=on_codes, off=off_codes, dc=dc, conflicts=conflicts)
+
+
+def extract_all_functions(sg: StateGraph) -> Dict[str, NextStateFunction]:
+    """Next-state functions for every output and internal signal."""
+    return {signal: extract_function(sg, signal) for signal in sg.signals
+            if sg.kinds[signal] in (SignalKind.OUTPUT, SignalKind.INTERNAL)}
+
+
+@dataclass
+class SetResetFunctions:
+    """Excitation (set/reset) covers for a generalized C-element implementation."""
+
+    signal: str
+    variables: List[str]
+    set_cover: Cover
+    reset_cover: Cover
+
+
+def extract_set_reset(sg: StateGraph, signal: str,
+                      exact: bool = False) -> SetResetFunctions:
+    """Covers of ER(a+) and ER(a-) with quiescent states as don't care.
+
+    Valid only when the signal has no CSC conflict; raises otherwise.
+    """
+    function = extract_function(sg, signal)
+    if function.has_csc_conflict:
+        raise ValueError(f"signal {signal!r} has CSC conflicts; resolve first")
+    rising, falling = _rising_falling_labels(sg, signal)
+    index = sg.signal_index(signal)
+    set_on: Set[Minterm] = set()
+    reset_on: Set[Minterm] = set()
+    stable_high: Set[Minterm] = set()
+    stable_low: Set[Minterm] = set()
+    for state in sg.states:
+        code = sg.code_of(state)
+        if any(sg.target(state, label) is not None for label in rising):
+            set_on.add(code)
+        elif any(sg.target(state, label) is not None for label in falling):
+            reset_on.add(code)
+        elif code[index] == 1:
+            stable_high.add(code)
+        else:
+            stable_low.add(code)
+    reachable = set_on | reset_on | stable_high | stable_low
+    unreachable = complement_minterms(len(sg.signals), reachable, set())
+    # The set network may stay high while the signal is high (the C element
+    # holds), but must be low in the reset region and at stable 0; dually for
+    # the reset network.  Unreachable codes are free for both.
+    set_cover = minimize(len(sg.signals), set_on,
+                         stable_high | unreachable, exact=exact)
+    reset_cover = minimize(len(sg.signals), reset_on,
+                           stable_low | unreachable, exact=exact)
+    return SetResetFunctions(signal=signal, variables=list(sg.signals),
+                             set_cover=set_cover, reset_cover=reset_cover)

@@ -1,0 +1,261 @@
+"""Two-level logic minimization.
+
+Two engines behind one API:
+
+* :func:`minimize` -- Quine-McCluskey prime generation (on packed integer
+  cubes) followed by essential-prime extraction and greedy or exact
+  covering.  Used for final synthesis where cover quality matters.
+* :func:`minimize_fast` -- an espresso-flavoured expand-and-cover heuristic
+  (greedily raise literals of each ON minterm against the OFF set, then
+  greedy set cover).  Linear-ish in |ON| x |OFF| and used by the cost
+  function inside the exploration loop, where it runs thousands of times.
+
+Cubes are packed as ``(mask, value)`` integer pairs internally -- bit i of
+``mask`` set means variable i is a literal, whose polarity is bit i of
+``value`` -- and converted to :class:`~repro.logic.cube.Cube` at the API
+boundary.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from .cube import DC, Cube, Cover
+
+Minterm = Tuple[int, ...]
+PackedCube = Tuple[int, int]  # (mask, value)
+
+
+class MinimizationError(Exception):
+    """Raised on contradictory ON/DC input."""
+
+
+def _normalise(num_vars: int, minterms: Iterable[Sequence[int]]) -> Set[Minterm]:
+    result: Set[Minterm] = set()
+    for minterm in minterms:
+        term = tuple(minterm)
+        if len(term) != num_vars or any(v not in (0, 1) for v in term):
+            raise MinimizationError(f"bad minterm {term!r} for {num_vars} variables")
+        result.add(term)
+    return result
+
+
+def _pack(minterm: Minterm) -> int:
+    value = 0
+    for i, bit in enumerate(minterm):
+        if bit:
+            value |= 1 << i
+    return value
+
+
+def _unpack_cube(packed: PackedCube, num_vars: int) -> Cube:
+    mask, value = packed
+    positions = []
+    for i in range(num_vars):
+        bit = 1 << i
+        if mask & bit:
+            positions.append(1 if value & bit else 0)
+        else:
+            positions.append(DC)
+    return Cube(tuple(positions))
+
+
+def _pack_cube(cube: Cube) -> PackedCube:
+    mask = value = 0
+    for i, v in enumerate(cube.values):
+        if v != DC:
+            mask |= 1 << i
+            if v == 1:
+                value |= 1 << i
+    return mask, value
+
+
+def _contains(packed: PackedCube, minterm_int: int) -> bool:
+    mask, value = packed
+    return (minterm_int ^ value) & mask == 0
+
+
+def prime_implicants(num_vars: int, on: Iterable[Sequence[int]],
+                     dc: Iterable[Sequence[int]] = ()) -> List[Cube]:
+    """All prime implicants of ON + DC (Quine-McCluskey on packed cubes)."""
+    on_set = _normalise(num_vars, on)
+    dc_set = _normalise(num_vars, dc)
+    current: Set[PackedCube] = {((1 << num_vars) - 1, _pack(m))
+                                for m in on_set | dc_set}
+    primes: Set[PackedCube] = set()
+    while current:
+        merged: Set[PackedCube] = set()
+        used: Set[PackedCube] = set()
+        by_group: Dict[Tuple[int, int], List[PackedCube]] = {}
+        for cube in current:
+            mask, value = cube
+            by_group.setdefault((mask, bin(value).count("1")), []).append(cube)
+        for (mask, ones), group in by_group.items():
+            neighbours = by_group.get((mask, ones + 1), [])
+            for cube in group:
+                value = cube[1]
+                for other in neighbours:
+                    diff = value ^ other[1]
+                    if diff & (diff - 1) == 0:  # single differing bit
+                        merged.add((mask & ~diff, value & ~diff))
+                        used.add(cube)
+                        used.add(other)
+        primes.update(current - used)
+        current = merged
+    cubes = [_unpack_cube(p, num_vars) for p in primes]
+    return sorted(cubes, key=lambda c: (c.literal_count, c.to_string()))
+
+
+def _essential_and_greedy(primes: List[PackedCube], on_ints: Set[int],
+                          num_vars: int) -> List[PackedCube]:
+    """Essential primes first, then greedy largest-coverage selection."""
+    coverage: Dict[int, List[PackedCube]] = {m: [] for m in on_ints}
+    for prime in primes:
+        for minterm in on_ints:
+            if _contains(prime, minterm):
+                coverage[minterm].append(prime)
+    for minterm, covering in coverage.items():
+        if not covering:
+            raise MinimizationError(f"minterm {minterm:b} not covered by any prime")
+    selected: List[PackedCube] = []
+    for minterm, covering in coverage.items():
+        if len(covering) == 1 and covering[0] not in selected:
+            selected.append(covering[0])
+    uncovered = {m for m in on_ints
+                 if not any(_contains(p, m) for p in selected)}
+    while uncovered:
+        def gain(prime: PackedCube) -> Tuple[int, int]:
+            return (sum(1 for m in uncovered if _contains(prime, m)),
+                    -bin(prime[0]).count("1"))
+        best = max(primes, key=gain)
+        gained = {m for m in uncovered if _contains(best, m)}
+        if not gained:
+            raise MinimizationError("greedy covering stalled")
+        selected.append(best)
+        uncovered -= gained
+    return selected
+
+
+def _exact_cover(primes: List[PackedCube], on_ints: Set[int],
+                 budget: int = 200_000) -> Optional[List[PackedCube]]:
+    """Branch-and-bound minimum-literal covering; None when budget exceeded."""
+    minterms = sorted(on_ints)
+    cover_sets = [frozenset(m for m in minterms if _contains(p, m)) for p in primes]
+    literal_cost = [bin(p[0]).count("1") for p in primes]
+    order = sorted(range(len(primes)),
+                   key=lambda i: (literal_cost[i], -len(cover_sets[i])))
+    best_cost = float("inf")
+    best: Optional[List[int]] = None
+    steps = 0
+
+    def recurse(uncovered: FrozenSet[int], chosen: List[int], cost: int) -> None:
+        nonlocal best_cost, best, steps
+        steps += 1
+        if steps > budget:
+            raise TimeoutError
+        if cost >= best_cost:
+            return
+        if not uncovered:
+            best_cost, best = cost, list(chosen)
+            return
+        target = min(uncovered)
+        for i in order:
+            if target in cover_sets[i]:
+                chosen.append(i)
+                recurse(uncovered - cover_sets[i], chosen, cost + literal_cost[i])
+                chosen.pop()
+
+    try:
+        recurse(frozenset(minterms), [], 0)
+    except TimeoutError:
+        return None
+    return [primes[i] for i in best] if best is not None else None
+
+
+def minimize(num_vars: int, on: Iterable[Sequence[int]],
+             dc: Iterable[Sequence[int]] = (), exact: bool = False) -> Cover:
+    """Minimal (or near-minimal) SOP cover of ON with DC flexibility.
+
+    ``exact=True`` attempts branch-and-bound minimum-literal covering over
+    the full prime set and falls back to the greedy heuristic on blow-up.
+    """
+    on_set = _normalise(num_vars, on)
+    dc_set = _normalise(num_vars, dc) - on_set
+    if not on_set:
+        return Cover.zero(num_vars)
+    if len(on_set | dc_set) == 1 << num_vars:
+        return Cover.one(num_vars)
+    on_ints = {_pack(m) for m in on_set}
+    primes = [_pack_cube(c) for c in prime_implicants(num_vars, on_set, dc_set)]
+    chosen: Optional[List[PackedCube]] = None
+    if exact:
+        chosen = _exact_cover(primes, on_ints)
+    if chosen is None:
+        chosen = _essential_and_greedy(primes, on_ints, num_vars)
+    cubes = [_unpack_cube(p, num_vars) for p in chosen]
+    return Cover(num_vars, cubes).remove_redundant()
+
+
+def minimize_fast(num_vars: int, on: Iterable[Sequence[int]],
+                  dc: Iterable[Sequence[int]] = ()) -> Cover:
+    """Espresso-flavoured heuristic cover: greedy expand + greedy cover.
+
+    Each ON minterm is expanded by raising literals (most-shared variables
+    first) while staying disjoint from the OFF set; the expanded cubes then
+    greedily cover the ON set.  Roughly |ON| x |OFF| x n work; the result is
+    a valid (irredundant-ish) cover, typically within a literal or two of
+    the QM result on controller-sized functions.
+    """
+    on_set = _normalise(num_vars, on)
+    dc_set = _normalise(num_vars, dc) - on_set
+    if not on_set:
+        return Cover.zero(num_vars)
+    if len(on_set | dc_set) == 1 << num_vars:
+        return Cover.one(num_vars)
+    care_off = [_pack(m) for m in _all_minterms(num_vars)
+                if m not in on_set and m not in dc_set]
+    full_mask = (1 << num_vars) - 1
+    expanded: List[PackedCube] = []
+    seen: Set[PackedCube] = set()
+    for minterm in sorted(on_set):
+        mask, value = full_mask, _pack(minterm)
+        for i in range(num_vars):
+            bit = 1 << i
+            trial_mask = mask & ~bit
+            trial_value = value & ~bit
+            if not any((m ^ trial_value) & trial_mask == 0 for m in care_off):
+                mask, value = trial_mask, trial_value
+        cube = (mask, value)
+        if cube not in seen:
+            seen.add(cube)
+            expanded.append(cube)
+    uncovered = {_pack(m) for m in on_set}
+    chosen: List[PackedCube] = []
+    while uncovered:
+        best = max(expanded,
+                   key=lambda c: (sum(1 for m in uncovered if _contains(c, m)),
+                                  -bin(c[0]).count("1")))
+        gained = {m for m in uncovered if _contains(best, m)}
+        if not gained:
+            raise MinimizationError("fast covering stalled")
+        chosen.append(best)
+        uncovered -= gained
+    cubes = [_unpack_cube(p, num_vars) for p in chosen]
+    return Cover(num_vars, cubes)
+
+
+def _all_minterms(num_vars: int) -> List[Minterm]:
+    from itertools import product as _product
+    return list(_product((0, 1), repeat=num_vars))
+
+
+def verify_cover(cover: Cover, on: Iterable[Sequence[int]],
+                 off: Iterable[Sequence[int]]) -> bool:
+    """Check a cover: contains every ON minterm, avoids every OFF minterm."""
+    return (all(cover.contains(m) for m in on)
+            and not any(cover.contains(m) for m in off))
+
+
+def complement_minterms(num_vars: int, on: Set[Minterm], dc: Set[Minterm]) -> Set[Minterm]:
+    """All minterms outside ON and DC (the OFF set) -- exponential, small n only."""
+    return {m for m in _all_minterms(num_vars) if m not in on and m not in dc}

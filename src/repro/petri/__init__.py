@@ -1,0 +1,1 @@
+"""Petri net kernel, STGs, the .g format, composition and structural analysis."""

@@ -1,0 +1,146 @@
+"""Structural and behavioural analysis of Petri nets.
+
+These checks are used both to validate benchmark specifications before
+synthesis and to characterise the nets produced by handshake expansion
+(which are safe but not necessarily free-choice).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Optional, Set, Tuple
+
+from .net import Marking, PetriNet, PetriNetError
+
+
+def is_marked_graph(net: PetriNet) -> bool:
+    """True when every place has at most one producer and one consumer."""
+    return all(len(net.preset_of_place(p.name)) <= 1
+               and len(net.postset_of_place(p.name)) <= 1
+               for p in net.places)
+
+
+def is_state_machine(net: PetriNet) -> bool:
+    """True when every transition has exactly one input and one output place."""
+    return all(len(net.preset_of_transition(t.name)) == 1
+               and len(net.postset_of_transition(t.name)) == 1
+               for t in net.transitions)
+
+
+def is_free_choice(net: PetriNet) -> bool:
+    """True when conflicts are free-choice: shared places imply equal presets."""
+    for place in net.places:
+        postset = net.postset_of_place(place.name)
+        if len(postset) <= 1:
+            continue
+        presets = [frozenset(net.preset_of_transition(t)) for t in postset]
+        if any(pre != {place.name} for pre in presets):
+            return False
+    return True
+
+
+def is_safe(net: PetriNet, limit: int = 1_000_000) -> bool:
+    """True when no reachable marking puts more than one token on a place."""
+    try:
+        markings = net.reachable_markings(limit)
+    except PetriNetError:
+        return False
+    return all(max(m, default=0) <= 1 for m in markings)
+
+
+def bound(net: PetriNet, limit: int = 1_000_000) -> int:
+    """The maximum token count over all places in all reachable markings."""
+    markings = net.reachable_markings(limit)
+    return max((max(m, default=0) for m in markings), default=0)
+
+
+def deadlock_markings(net: PetriNet, limit: int = 1_000_000) -> List[Marking]:
+    """All reachable markings that enable no transition."""
+    return [m for m in net.reachable_markings(limit)
+            if not net.enabled_transitions(m)]
+
+
+def is_deadlock_free(net: PetriNet, limit: int = 1_000_000) -> bool:
+    return not deadlock_markings(net, limit)
+
+
+def live_transitions(net: PetriNet, limit: int = 1_000_000) -> Set[str]:
+    """Transitions that fire in at least one reachable marking (L1-live)."""
+    fired: Set[str] = set()
+    for marking in net.reachable_markings(limit):
+        fired.update(net.enabled_transitions(marking))
+    return fired
+
+
+def dead_transitions(net: PetriNet, limit: int = 1_000_000) -> Set[str]:
+    """Transitions that can never fire."""
+    return set(net.transition_names) - live_transitions(net, limit)
+
+
+def isolated_places(net: PetriNet) -> Set[str]:
+    """Places with no incident arcs."""
+    return {p.name for p in net.places
+            if not net.preset_of_place(p.name) and not net.postset_of_place(p.name)}
+
+
+def redundant_places(net: PetriNet, limit: int = 100_000) -> Set[str]:
+    """Places whose removal leaves the reachable behaviour unchanged.
+
+    Uses a sufficient condition checked behaviourally: a place is redundant
+    when, in every reachable marking, it never constrains an otherwise
+    enabled transition.  Only meaningful for bounded nets.
+    """
+    markings = net.reachable_markings(limit)
+    redundant: Set[str] = set()
+    index = {p: i for i, p in enumerate(net.place_names)}
+    for place in net.place_names:
+        consumers = net.postset_of_place(place)
+        if not consumers:
+            if not net.preset_of_place(place):
+                redundant.add(place)
+            continue
+        constrains = False
+        for marking in markings:
+            for transition in consumers:
+                others_ok = all(marking[index[p]] >= w
+                                for p, w in net.preset_of_transition(transition).items()
+                                if p != place)
+                need = net.preset_of_transition(transition)[place]
+                if others_ok and marking[index[place]] < need:
+                    constrains = True
+                    break
+            if constrains:
+                break
+        if not constrains:
+            redundant.add(place)
+    return redundant
+
+
+def strongly_connected(net: PetriNet) -> bool:
+    """True when the underlying bipartite graph is strongly connected."""
+    nodes: List[str] = [p.name for p in net.places] + net.transition_names
+    if not nodes:
+        return True
+    succ: Dict[str, Set[str]] = {n: set() for n in nodes}
+    pred: Dict[str, Set[str]] = {n: set() for n in nodes}
+    for transition in net.transition_names:
+        for place in net.preset_of_transition(transition):
+            succ[place].add(transition)
+            pred[transition].add(place)
+        for place in net.postset_of_transition(transition):
+            succ[transition].add(place)
+            pred[place].add(transition)
+
+    def reach(start: str, edges: Dict[str, Set[str]]) -> Set[str]:
+        seen = {start}
+        queue = deque([start])
+        while queue:
+            node = queue.popleft()
+            for nxt in edges[node]:
+                if nxt not in seen:
+                    seen.add(nxt)
+                    queue.append(nxt)
+        return seen
+
+    start = nodes[0]
+    return len(reach(start, succ)) == len(nodes) and len(reach(start, pred)) == len(nodes)

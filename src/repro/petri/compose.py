@@ -1,0 +1,169 @@
+"""Parallel composition of STGs.
+
+Handshake expansion (Section 4 of the paper) is described as "the parallel
+composition of the STG pieces" of the return-to-zero structure and the
+functional parts.  This module implements synchronous parallel composition
+of labelled nets: shared events synchronise (their transitions are fused),
+private events interleave.
+
+Composition here works at the level of *base events* (signal + direction,
+ignoring instance indices): each instance of a shared event in one component
+synchronises with every instance in the other, producing the product
+instances.  For the structures used by the 4-phase refinement this yields
+exactly the nets in Fig. 5 of the paper.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Dict, List, Optional, Set, Tuple
+
+from .net import PetriNetError
+from .stg import STG, SignalEvent, SignalKind
+
+
+def _base_key(event: Optional[SignalEvent]) -> Optional[Tuple[str, str]]:
+    if event is None:
+        return None
+    return (event.signal, event.direction.value)
+
+
+def compose(left: STG, right: STG, name: Optional[str] = None) -> STG:
+    """Parallel composition of two STGs, synchronising on shared signals.
+
+    Signals present in both components must be declared with compatible
+    kinds (identical, or input in one and output/internal in the other, in
+    which case the non-input kind wins -- the usual rule when composing a
+    circuit with its environment).
+    """
+    result = STG(name or f"{left.name}||{right.name}")
+
+    for signal, kind in left.signals.items():
+        result.declare_signal(signal, kind)
+    for signal, kind in right.signals.items():
+        if signal not in result.signals:
+            result.declare_signal(signal, kind)
+        else:
+            existing = result.signals[signal]
+            if existing == kind:
+                continue
+            if SignalKind.INPUT in (existing, kind):
+                winner = kind if existing == SignalKind.INPUT else existing
+                result.signals[signal] = winner
+            else:
+                raise PetriNetError(
+                    f"signal {signal!r} declared {existing.value} and {kind.value}")
+
+    shared: Set[str] = set(left.signals) & set(right.signals)
+
+    def place_name(side: str, original: str) -> str:
+        return f"{side}.{original}"
+
+    for side, stg in (("L", left), ("R", right)):
+        for place in stg.net.places:
+            result.net.add_place(place_name(side, place.name), auto=False)
+
+    # Transitions: private ones are copied; shared base events are fused
+    # pairwise across components.
+    fused: Dict[str, List[Tuple[str, Dict[str, int], Dict[str, int]]]] = {}
+
+    def arcs_of(side: str, stg: STG, transition: str) -> Tuple[Dict[str, int], Dict[str, int]]:
+        pre = {place_name(side, p): w
+               for p, w in stg.net.preset_of_transition(transition).items()}
+        post = {place_name(side, p): w
+                for p, w in stg.net.postset_of_transition(transition).items()}
+        return pre, post
+
+    used_names: Set[str] = set()
+
+    def fresh(base: SignalEvent) -> SignalEvent:
+        instance = 0
+        while str(base.with_instance(instance)) in used_names:
+            instance += 1
+        return base.with_instance(instance)
+
+    def add_result_transition(event: Optional[SignalEvent], dummy_name: Optional[str],
+                              pre: Dict[str, int], post: Dict[str, int]) -> None:
+        if event is None:
+            name_ = dummy_name or "dummy"
+            i = 0
+            while name_ in used_names:
+                i += 1
+                name_ = f"{dummy_name}/{i}"
+            result.net.add_transition(name_, None)
+        else:
+            event = fresh(event.base)
+            name_ = str(event)
+            result.net.add_transition(name_, event)
+        used_names.add(name_)
+        for place, weight in pre.items():
+            result.net.add_arc(place, name_, weight)
+        for place, weight in post.items():
+            result.net.add_arc(name_, place, weight)
+
+    left_by_base: Dict[Tuple[str, str], List[str]] = {}
+    right_by_base: Dict[Tuple[str, str], List[str]] = {}
+    for stg, table in ((left, left_by_base), (right, right_by_base)):
+        for transition in stg.net.transition_names:
+            key = _base_key(stg.event_of(transition))
+            if key is not None and key[0] in shared:
+                table.setdefault(key, []).append(transition)
+
+    # Private (or dummy) transitions from each side.
+    for side, stg in (("L", left), ("R", right)):
+        for transition in stg.net.transition_names:
+            event = stg.event_of(transition)
+            key = _base_key(event)
+            if key is not None and key[0] in shared:
+                continue
+            pre, post = arcs_of(side, stg, transition)
+            add_result_transition(event, f"{side}.{transition}" if event is None else None,
+                                  pre, post)
+
+    # Fused transitions for shared base events.
+    keys = set(left_by_base) | set(right_by_base)
+    for key in sorted(keys):
+        left_instances = left_by_base.get(key, [])
+        right_instances = right_by_base.get(key, [])
+        if not left_instances or not right_instances:
+            # The event exists on only one side: it stays private.
+            side, stg, instances = (("L", left, left_instances) if left_instances
+                                    else ("R", right, right_instances))
+            for transition in instances:
+                pre, post = arcs_of(side, stg, transition)
+                add_result_transition(stg.event_of(transition), None, pre, post)
+            continue
+        for lt, rt in product(left_instances, right_instances):
+            lpre, lpost = arcs_of("L", left, lt)
+            rpre, rpost = arcs_of("R", right, rt)
+            pre = dict(lpre)
+            for place, weight in rpre.items():
+                pre[place] = max(pre.get(place, 0), weight)
+            post = dict(lpost)
+            for place, weight in rpost.items():
+                post[place] = max(post.get(place, 0), weight)
+            event = SignalEvent(key[0], left.event_of(lt).direction)
+            add_result_transition(event, None, pre, post)
+
+    marking: Dict[str, int] = {}
+    for side, stg in (("L", left), ("R", right)):
+        for place, count in stg.net.marking_dict(stg.net.initial_marking()).items():
+            marking[place_name(side, place)] = count
+    result.net.set_initial(marking)
+
+    for stg in (left, right):
+        for signal, value in stg.initial_values.items():
+            result.initial_values.setdefault(signal, value)
+    return result
+
+
+def compose_all(components: List[STG], name: Optional[str] = None) -> STG:
+    """Left fold of :func:`compose` over a list of components."""
+    if not components:
+        raise PetriNetError("cannot compose an empty list of STGs")
+    current = components[0]
+    for component in components[1:]:
+        current = compose(current, component)
+    if name:
+        current.name = name
+    return current

@@ -1,0 +1,383 @@
+"""Petri net kernel.
+
+This module provides the untyped Petri-net substrate used by the rest of the
+library: places, transitions, arcs, markings and the token game.  Signal
+Transition Graphs (:mod:`repro.petri.stg`) are built on top of it by labelling
+transitions with signal events.
+
+The nets manipulated by the synthesis flow are small control specifications,
+so the implementation favours clarity and checkability over raw speed:
+markings are immutable tuples of token counts, reachability is explicit, and
+every mutation validates its arguments.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+
+class PetriNetError(Exception):
+    """Raised for structurally invalid Petri-net operations."""
+
+
+@dataclass(frozen=True)
+class Place:
+    """A place of a Petri net.
+
+    Places are identified by name; ``auto`` marks places created implicitly
+    (e.g. by the STG parser for transition-to-transition arcs), which writers
+    may render back in the implicit ``<t1,t2>`` form.
+    """
+
+    name: str
+    auto: bool = False
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Transition:
+    """A transition of a Petri net.
+
+    ``name`` is unique within the net.  ``label`` is an opaque payload; STGs
+    store a :class:`repro.petri.stg.SignalEvent` there.  Unlabelled
+    transitions behave as dummy (lambda) events.
+    """
+
+    name: str
+    label: object = None
+
+    def __str__(self) -> str:
+        return self.name
+
+
+Marking = Tuple[int, ...]
+"""A marking is a tuple of token counts indexed by place index."""
+
+
+class PetriNet:
+    """A finite, weighted Petri net with an initial marking.
+
+    The net keeps places and transitions in insertion order; markings are
+    tuples aligned with the place order, which makes them hashable and cheap
+    to store in reachability sets.
+    """
+
+    def __init__(self, name: str = "net") -> None:
+        self.name = name
+        self._places: Dict[str, Place] = {}
+        self._transitions: Dict[str, Transition] = {}
+        self._place_index: Dict[str, int] = {}
+        # arcs: weight maps keyed by (place_name, transition_name)
+        self._pre: Dict[str, Dict[str, int]] = {}   # transition -> {place: weight}
+        self._post: Dict[str, Dict[str, int]] = {}  # transition -> {place: weight}
+        self._place_post: Dict[str, Set[str]] = {}  # place -> transitions consuming
+        self._place_pre: Dict[str, Set[str]] = {}   # place -> transitions producing
+        self._initial: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_place(self, name: str, tokens: int = 0, auto: bool = False) -> Place:
+        """Add a place; returns the existing place if the name is known."""
+        if name in self._places:
+            place = self._places[name]
+            if tokens:
+                self._initial[name] = self._initial.get(name, 0) + tokens
+            return place
+        if name in self._transitions:
+            raise PetriNetError(f"name {name!r} already used by a transition")
+        place = Place(name, auto=auto)
+        self._places[name] = place
+        self._place_index[name] = len(self._place_index)
+        self._place_post[name] = set()
+        self._place_pre[name] = set()
+        if tokens:
+            self._initial[name] = tokens
+        return place
+
+    def add_transition(self, name: str, label: object = None) -> Transition:
+        """Add a transition with an optional label."""
+        if name in self._transitions:
+            existing = self._transitions[name]
+            if label is not None and existing.label != label:
+                raise PetriNetError(f"transition {name!r} already exists with a different label")
+            return existing
+        if name in self._places:
+            raise PetriNetError(f"name {name!r} already used by a place")
+        transition = Transition(name, label)
+        self._transitions[name] = transition
+        self._pre[name] = {}
+        self._post[name] = {}
+        return transition
+
+    def add_arc(self, source: str, target: str, weight: int = 1) -> None:
+        """Add an arc place->transition or transition->place.
+
+        Adding an arc between two transitions inserts an implicit place
+        (named ``<t1,t2>``), matching STG notation.  Arcs between two places
+        are rejected.
+        """
+        if weight < 1:
+            raise PetriNetError("arc weight must be positive")
+        src_is_place = source in self._places
+        dst_is_place = target in self._places
+        src_is_trans = source in self._transitions
+        dst_is_trans = target in self._transitions
+        if src_is_trans and dst_is_trans:
+            implicit = f"<{source},{target}>"
+            self.add_place(implicit, auto=True)
+            self.add_arc(source, implicit, weight)
+            self.add_arc(implicit, target, weight)
+            return
+        if src_is_place and dst_is_trans:
+            self._pre[target][source] = self._pre[target].get(source, 0) + weight
+            self._place_post[source].add(target)
+            return
+        if src_is_trans and dst_is_place:
+            self._post[source][target] = self._post[source].get(target, 0) + weight
+            self._place_pre[target].add(source)
+            return
+        if src_is_place and dst_is_place:
+            raise PetriNetError(f"arc between two places: {source!r} -> {target!r}")
+        missing = source if not (src_is_place or src_is_trans) else target
+        raise PetriNetError(f"unknown node {missing!r}")
+
+    def remove_arc(self, source: str, target: str) -> None:
+        """Remove an arc previously added with :meth:`add_arc`."""
+        if source in self._places and target in self._transitions:
+            self._pre[target].pop(source, None)
+            self._place_post[source].discard(target)
+        elif source in self._transitions and target in self._places:
+            self._post[source].pop(target, None)
+            self._place_pre[target].discard(source)
+        else:
+            raise PetriNetError(f"no such arc {source!r} -> {target!r}")
+
+    def remove_place(self, name: str) -> None:
+        """Remove a place and all arcs incident to it."""
+        if name not in self._places:
+            raise PetriNetError(f"unknown place {name!r}")
+        for transition in list(self._place_post[name]):
+            self._pre[transition].pop(name, None)
+        for transition in list(self._place_pre[name]):
+            self._post[transition].pop(name, None)
+        del self._places[name]
+        del self._place_post[name]
+        del self._place_pre[name]
+        self._initial.pop(name, None)
+        self._place_index = {p: i for i, p in enumerate(self._places)}
+
+    def remove_transition(self, name: str) -> None:
+        """Remove a transition and all arcs incident to it."""
+        if name not in self._transitions:
+            raise PetriNetError(f"unknown transition {name!r}")
+        for place in list(self._pre[name]):
+            self._place_post[place].discard(name)
+        for place in list(self._post[name]):
+            self._place_pre[place].discard(name)
+        del self._transitions[name]
+        del self._pre[name]
+        del self._post[name]
+
+    def set_initial(self, marking: Dict[str, int]) -> None:
+        """Set the initial marking from a place-name -> tokens mapping."""
+        for place in marking:
+            if place not in self._places:
+                raise PetriNetError(f"unknown place {place!r} in marking")
+        self._initial = {p: n for p, n in marking.items() if n > 0}
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+    @property
+    def places(self) -> List[Place]:
+        return list(self._places.values())
+
+    @property
+    def transitions(self) -> List[Transition]:
+        return list(self._transitions.values())
+
+    @property
+    def place_names(self) -> List[str]:
+        return list(self._places)
+
+    @property
+    def transition_names(self) -> List[str]:
+        return list(self._transitions)
+
+    def has_place(self, name: str) -> bool:
+        return name in self._places
+
+    def has_transition(self, name: str) -> bool:
+        return name in self._transitions
+
+    def place(self, name: str) -> Place:
+        try:
+            return self._places[name]
+        except KeyError:
+            raise PetriNetError(f"unknown place {name!r}") from None
+
+    def transition(self, name: str) -> Transition:
+        try:
+            return self._transitions[name]
+        except KeyError:
+            raise PetriNetError(f"unknown transition {name!r}") from None
+
+    def label_of(self, transition: str) -> object:
+        return self.transition(transition).label
+
+    def relabel_transition(self, name: str, label: object) -> None:
+        """Replace the label of an existing transition."""
+        if name not in self._transitions:
+            raise PetriNetError(f"unknown transition {name!r}")
+        self._transitions[name] = Transition(name, label)
+
+    def rename_transition(self, old: str, new: str, label: object = None) -> None:
+        """Rename a transition, preserving connectivity.
+
+        ``label`` replaces the transition label when given; otherwise the old
+        label is kept.
+        """
+        if old not in self._transitions:
+            raise PetriNetError(f"unknown transition {old!r}")
+        if new in self._transitions or new in self._places:
+            raise PetriNetError(f"name {new!r} already in use")
+        old_t = self._transitions.pop(old)
+        self._transitions[new] = Transition(new, label if label is not None else old_t.label)
+        self._pre[new] = self._pre.pop(old)
+        self._post[new] = self._post.pop(old)
+        for place in self._pre[new]:
+            self._place_post[place].discard(old)
+            self._place_post[place].add(new)
+        for place in self._post[new]:
+            self._place_pre[place].discard(old)
+            self._place_pre[place].add(new)
+
+    def preset_of_transition(self, name: str) -> Dict[str, int]:
+        """Input places of a transition with arc weights."""
+        if name not in self._transitions:
+            raise PetriNetError(f"unknown transition {name!r}")
+        return dict(self._pre[name])
+
+    def postset_of_transition(self, name: str) -> Dict[str, int]:
+        """Output places of a transition with arc weights."""
+        if name not in self._transitions:
+            raise PetriNetError(f"unknown transition {name!r}")
+        return dict(self._post[name])
+
+    def preset_of_place(self, name: str) -> Set[str]:
+        """Transitions producing into a place."""
+        if name not in self._places:
+            raise PetriNetError(f"unknown place {name!r}")
+        return set(self._place_pre[name])
+
+    def postset_of_place(self, name: str) -> Set[str]:
+        """Transitions consuming from a place."""
+        if name not in self._places:
+            raise PetriNetError(f"unknown place {name!r}")
+        return set(self._place_post[name])
+
+    # ------------------------------------------------------------------
+    # token game
+    # ------------------------------------------------------------------
+    def initial_marking(self) -> Marking:
+        """The initial marking as a tuple aligned with ``place_names``."""
+        return tuple(self._initial.get(p, 0) for p in self._places)
+
+    def marking_dict(self, marking: Marking) -> Dict[str, int]:
+        """Expand a tuple marking into a place-name -> tokens mapping."""
+        return {p: n for p, n in zip(self._places, marking) if n > 0}
+
+    def marking_from_dict(self, tokens: Dict[str, int]) -> Marking:
+        """Build a tuple marking from a place-name -> tokens mapping."""
+        for place in tokens:
+            if place not in self._places:
+                raise PetriNetError(f"unknown place {place!r} in marking")
+        return tuple(tokens.get(p, 0) for p in self._places)
+
+    def is_enabled(self, transition: str, marking: Marking) -> bool:
+        """True when every input place holds enough tokens."""
+        index = self._place_index
+        return all(marking[index[p]] >= w for p, w in self._pre[transition].items())
+
+    def enabled_transitions(self, marking: Marking) -> List[str]:
+        """Names of all transitions enabled at ``marking`` (net order)."""
+        return [t for t in self._transitions if self.is_enabled(t, marking)]
+
+    def fire(self, transition: str, marking: Marking) -> Marking:
+        """Fire an enabled transition; returns the successor marking."""
+        if not self.is_enabled(transition, marking):
+            raise PetriNetError(f"transition {transition!r} not enabled")
+        index = self._place_index
+        counts = list(marking)
+        for place, weight in self._pre[transition].items():
+            counts[index[place]] -= weight
+        for place, weight in self._post[transition].items():
+            counts[index[place]] += weight
+        return tuple(counts)
+
+    def reachable_markings(self, limit: int = 1_000_000) -> Set[Marking]:
+        """All markings reachable from the initial marking.
+
+        ``limit`` guards against unbounded nets; exceeding it raises
+        :class:`PetriNetError`.
+        """
+        seen: Set[Marking] = set()
+        queue: deque = deque([self.initial_marking()])
+        seen.add(self.initial_marking())
+        while queue:
+            marking = queue.popleft()
+            for transition in self.enabled_transitions(marking):
+                nxt = self.fire(transition, marking)
+                if nxt not in seen:
+                    seen.add(nxt)
+                    if len(seen) > limit:
+                        raise PetriNetError(f"reachability exceeded {limit} markings")
+                    queue.append(nxt)
+        return seen
+
+    # ------------------------------------------------------------------
+    # utilities
+    # ------------------------------------------------------------------
+    def copy(self, name: Optional[str] = None) -> "PetriNet":
+        """A structural deep copy of the net (labels shared, structure new)."""
+        clone = PetriNet(name or self.name)
+        for place in self._places.values():
+            clone.add_place(place.name, auto=place.auto)
+        for transition in self._transitions.values():
+            clone.add_transition(transition.name, transition.label)
+        for transition, places in self._pre.items():
+            for place, weight in places.items():
+                clone.add_arc(place, transition, weight)
+        for transition, places in self._post.items():
+            for place, weight in places.items():
+                clone.add_arc(transition, place, weight)
+        clone.set_initial(dict(self._initial))
+        return clone
+
+    def fresh_place_name(self, stem: str = "p") -> str:
+        """A place name not yet used in the net."""
+        i = len(self._places)
+        while f"{stem}{i}" in self._places or f"{stem}{i}" in self._transitions:
+            i += 1
+        return f"{stem}{i}"
+
+    def fresh_transition_name(self, stem: str) -> str:
+        """A transition name not yet used in the net."""
+        if stem not in self._transitions and stem not in self._places:
+            return stem
+        i = 1
+        while f"{stem}/{i}" in self._transitions:
+            i += 1
+        return f"{stem}/{i}"
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._places or name in self._transitions
+
+    def __repr__(self) -> str:
+        return (f"PetriNet({self.name!r}, |P|={len(self._places)}, "
+                f"|T|={len(self._transitions)})")

@@ -1,0 +1,1 @@
+"""Concurrency reduction: FwdRed, validity, cost, beam-search exploration."""

@@ -1,0 +1,70 @@
+"""Cost function guiding the exploration (Section 7).
+
+The paper combines the number of CSC conflicts with the estimated logic
+complexity through a designer-chosen weight ``W`` in [0, 1]: ``W -> 0``
+biases the search towards removing CSC conflicts, ``W -> 1`` towards
+reducing the estimated logic.  Both terms are cheap on purpose -- exact
+evaluation (state-signal insertion, decomposition, mapping) at every search
+step would dominate the run time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+from ..logic.complexity import estimate_logic_complexity
+from ..sg.graph import StateGraph
+from ..sg.properties import csc_conflicts
+
+
+@dataclass(frozen=True)
+class CostBreakdown:
+    """The two terms of the heuristic cost and their combination."""
+
+    logic_literals: int
+    csc_conflict_pairs: int
+    weight: float
+    csc_scale: float
+    state_count: int
+
+    @property
+    def value(self) -> float:
+        logic_term = self.weight * self.logic_literals
+        csc_term = (1.0 - self.weight) * self.csc_scale * self.csc_conflict_pairs
+        # Tiny pressure towards smaller SGs breaks ties deterministically in
+        # favour of less concurrency (larger don't-care sets downstream).
+        return logic_term + csc_term + 1e-3 * self.state_count
+
+
+class CostFunction:
+    """Callable cost with memoisation keyed by the SG's arc signature."""
+
+    def __init__(self, weight: float = 0.5, csc_scale: float = 20.0,
+                 exact_covers: bool = False) -> None:
+        if not 0.0 <= weight <= 1.0:
+            raise ValueError("weight W must lie in [0, 1]")
+        self.weight = weight
+        self.csc_scale = csc_scale
+        self.exact_covers = exact_covers
+        self._cache: Dict[frozenset, CostBreakdown] = {}
+
+    def breakdown(self, sg: StateGraph) -> CostBreakdown:
+        signature = frozenset(sg.arcs())
+        cached = self._cache.get(signature)
+        if cached is not None:
+            return cached
+        estimate = estimate_logic_complexity(sg, exact=self.exact_covers)
+        conflicts = csc_conflicts(sg)
+        result = CostBreakdown(
+            logic_literals=estimate.literals,
+            csc_conflict_pairs=len(conflicts),
+            weight=self.weight,
+            csc_scale=self.csc_scale,
+            state_count=len(sg),
+        )
+        self._cache[signature] = result
+        return result
+
+    def __call__(self, sg: StateGraph) -> float:
+        return self.breakdown(sg).value

@@ -1,0 +1,251 @@
+"""Frontier-based exploration of concurrency reductions (Fig. 9).
+
+Starting from the maximally concurrent SG, each level applies every eligible
+forward reduction to every SG on the frontier; the ``size_frontier`` best
+candidates (by the heuristic cost) survive to the next level.  Because every
+step strictly reduces concurrency, the search terminates when no reduction
+applies.  The best SG over *everything explored* (including the input) is
+returned -- reduction is an optimization, not an obligation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..hse.constraints import normalise_keep_conc
+from ..sg.graph import StateGraph
+from ..sg.regions import are_concurrent
+from .cost import CostFunction
+from .fwdred import forward_reduction, reducible_pairs
+
+
+def _keeps_concurrency(sg: StateGraph,
+                       preserved: FrozenSet[FrozenSet[str]]) -> bool:
+    """True when every Keep_Conc pair is still concurrent in ``sg``.
+
+    The paper's Fig. 9 only avoids reducing the pairs directly, but a
+    reduction of *another* pair can serialize a protected one as a side
+    effect; checking after the fact keeps the guarantee the designer asked
+    for ("crucial for overall system performance").
+    """
+    for pair in preserved:
+        label_a, label_b = sorted(pair)
+        if not are_concurrent(sg, label_a, label_b):
+            return False
+    return True
+
+
+@dataclass
+class ExplorationStep:
+    """One accepted reduction in the search history."""
+
+    level: int
+    before: str
+    delayed: str
+    cost: float
+    states: int
+
+
+@dataclass
+class ExplorationResult:
+    """Outcome of the Fig. 9 loop."""
+
+    best: StateGraph
+    best_cost: float
+    initial_cost: float
+    explored_count: int
+    levels: int
+    history: List[ExplorationStep] = field(default_factory=list)
+
+    @property
+    def improved(self) -> bool:
+        return self.best_cost < self.initial_cost
+
+
+def _signature(sg: StateGraph) -> frozenset:
+    return frozenset(sg.arcs())
+
+
+def reduce_concurrency(sg: StateGraph,
+                       keep_conc: Iterable[Tuple[str, str]] = (),
+                       size_frontier: int = 4,
+                       weight: float = 0.5,
+                       cost_function: Optional[CostFunction] = None,
+                       max_levels: Optional[int] = None,
+                       max_explored: int = 10_000,
+                       strategy: str = "best-first",
+                       patience: int = 150) -> ExplorationResult:
+    """Search over valid forward reductions.
+
+    ``keep_conc`` lists event pairs whose concurrency must be preserved;
+    elements may be labels, base events or bare signal names (see
+    :func:`repro.hse.constraints.normalise_keep_conc`).  ``weight`` is the
+    paper's ``W``: 0 biases towards CSC resolution, 1 towards logic size.
+
+    ``strategy`` selects between the paper's level-by-level beam
+    (``"beam"``, Fig. 9) and a best-first variant (``"best-first"``, the
+    default) that expands the globally cheapest configuration next.  The
+    cost landscape of reshuffling is deceptive -- the best final
+    interleaving is often reached through intermediate configurations that
+    look expensive -- and best-first recovers from that where a narrow beam
+    cannot.  ``patience`` bounds the number of consecutive non-improving
+    expansions in best-first mode.
+    """
+    if strategy == "best-first":
+        return _best_first(sg, keep_conc, weight, cost_function,
+                           max_explored, patience)
+    if strategy != "beam":
+        raise ValueError(f"unknown strategy {strategy!r}")
+    if size_frontier < 1:
+        raise ValueError("size_frontier must be at least 1")
+    cost = cost_function or CostFunction(weight=weight)
+    preserved: FrozenSet[FrozenSet[str]] = frozenset(normalise_keep_conc(sg, keep_conc))
+
+    initial_cost = cost(sg)
+    # Only *expanded* configurations are closed; a candidate pruned from one
+    # level's frontier may be regenerated along a better path later.
+    expanded: Set[frozenset] = set()
+    generated = 0
+    best, best_cost = sg, initial_cost
+    frontier: List[StateGraph] = [sg]
+    history: List[ExplorationStep] = []
+    level = 0
+
+    while frontier and (max_levels is None or level < max_levels):
+        level += 1
+        candidates: Dict[frozenset, Tuple[float, StateGraph, str, str]] = {}
+        for current in frontier:
+            signature = _signature(current)
+            if signature in expanded:
+                continue
+            expanded.add(signature)
+            for before, delayed in sorted(reducible_pairs(current, preserved)):
+                result = forward_reduction(current, delayed, before)
+                if not result.valid:
+                    continue
+                if preserved and not _keeps_concurrency(result.sg, preserved):
+                    continue
+                child_signature = _signature(result.sg)
+                if child_signature in expanded or child_signature in candidates:
+                    continue
+                generated += 1
+                candidates[child_signature] = (cost(result.sg), result.sg,
+                                               before, delayed)
+        if not candidates or len(expanded) >= max_explored:
+            break
+        survivors = sorted(candidates.values(), key=lambda item: item[0])
+        survivors = survivors[:size_frontier]
+        for value, candidate, before, delayed in survivors:
+            history.append(ExplorationStep(level, before, delayed, value,
+                                           len(candidate)))
+            if value < best_cost:
+                best, best_cost = candidate, value
+        frontier = [candidate for _, candidate, _, _ in survivors]
+
+    return ExplorationResult(best=best, best_cost=best_cost,
+                             initial_cost=initial_cost,
+                             explored_count=len(expanded) + generated,
+                             levels=level, history=history)
+
+
+def _best_first(sg: StateGraph,
+                keep_conc: Iterable[Tuple[str, str]],
+                weight: float,
+                cost_function: Optional[CostFunction],
+                max_explored: int,
+                patience: int) -> ExplorationResult:
+    """Priority-queue exploration: always expand the cheapest known SG."""
+    import heapq
+
+    cost = cost_function or CostFunction(weight=weight)
+    preserved: FrozenSet[FrozenSet[str]] = frozenset(normalise_keep_conc(sg, keep_conc))
+    initial_cost = cost(sg)
+    best, best_cost = sg, initial_cost
+    counter = 0
+    heap: List[Tuple[float, int, StateGraph]] = [(initial_cost, counter, sg)]
+    expanded: Set[frozenset] = set()
+    history: List[ExplorationStep] = []
+    stale = 0
+
+    while heap and len(expanded) < max_explored and stale < patience:
+        value, _, current = heapq.heappop(heap)
+        signature = _signature(current)
+        if signature in expanded:
+            continue
+        expanded.add(signature)
+        improved = False
+        for before, delayed in sorted(reducible_pairs(current, preserved)):
+            result = forward_reduction(current, delayed, before)
+            if not result.valid:
+                continue
+            if preserved and not _keeps_concurrency(result.sg, preserved):
+                continue
+            child_signature = _signature(result.sg)
+            if child_signature in expanded:
+                continue
+            child_cost = cost(result.sg)
+            counter += 1
+            heapq.heappush(heap, (child_cost, counter, result.sg))
+            if child_cost < best_cost:
+                best, best_cost = result.sg, child_cost
+                improved = True
+                history.append(ExplorationStep(len(expanded), before, delayed,
+                                               child_cost, len(result.sg)))
+        stale = 0 if improved else stale + 1
+
+    return ExplorationResult(best=best, best_cost=best_cost,
+                             initial_cost=initial_cost,
+                             explored_count=len(expanded) + len(heap),
+                             levels=len(expanded), history=history)
+
+
+def full_reduction(sg: StateGraph,
+                   keep_conc: Iterable[Tuple[str, str]] = (),
+                   size_frontier: int = 6,
+                   weight: float = 0.5,
+                   cost_function: Optional[CostFunction] = None,
+                   max_explored: int = 20_000) -> StateGraph:
+    """Reduce until no valid reduction remains; best terminal wins.
+
+    Unlike :func:`reduce_concurrency` (which may stop anywhere), this drives
+    concurrency as low as the validity rules allow (the "Full reduction" and
+    ``x || y`` rows of Tables 1 and 2): a configuration only counts as a
+    result when *no* valid reduction applies to it.  A beam of width
+    ``size_frontier`` avoids the greedy trap where an early cheap-looking
+    reduction forecloses the globally best interleaving.
+    """
+    cost = cost_function or CostFunction(weight=weight)
+    preserved = frozenset(normalise_keep_conc(sg, keep_conc))
+    expanded: Set[frozenset] = set()
+    frontier: List[StateGraph] = [sg]
+    best_terminal: Optional[StateGraph] = None
+    best_terminal_cost = float("inf")
+
+    while frontier and len(expanded) < max_explored:
+        candidates: Dict[frozenset, Tuple[float, StateGraph]] = {}
+        for current in frontier:
+            signature = _signature(current)
+            if signature in expanded:
+                continue
+            expanded.add(signature)
+            children = 0
+            for before, delayed in sorted(reducible_pairs(current, preserved)):
+                result = forward_reduction(current, delayed, before)
+                if not result.valid:
+                    continue
+                if preserved and not _keeps_concurrency(result.sg, preserved):
+                    continue
+                children += 1
+                child_signature = _signature(result.sg)
+                if child_signature in expanded or child_signature in candidates:
+                    continue
+                candidates[child_signature] = (cost(result.sg), result.sg)
+            if children == 0:
+                value = cost(current)
+                if value < best_terminal_cost:
+                    best_terminal, best_terminal_cost = current, value
+        survivors = sorted(candidates.values(), key=lambda item: item[0])
+        frontier = [candidate for _, candidate in survivors[:size_frontier]]
+
+    return best_terminal if best_terminal is not None else sg

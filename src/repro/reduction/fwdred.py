@@ -1,0 +1,108 @@
+"""Forward reduction -- the elementary operation of the paper (Section 6).
+
+``FwdRed(a, b)`` reduces the concurrency of event ``a`` with respect to
+event ``b``: in every execution where both are enabled, ``a`` now waits for
+``b``.  Following Fig. 7::
+
+    ER_red(a) = ER(a) - (ER(b)  U  back_reach(ER(a) /\\ ER(b)))
+
+where the backward reachability stays inside ER(a) (leaving the region would
+mean ``a`` has fired).  Arcs labelled ``a`` leaving the truncated states are
+removed, unreachable states are pruned, and the result is validated per
+Definition 5.1.  At the STG level this corresponds to adding a causal place
+from ``b`` to ``a``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Optional, Set, Tuple
+
+from ..petri.stg import SignalKind
+from ..sg.graph import State, StateGraph, StateGraphError
+from ..sg.regions import excitation_region
+from .validity import ValidityReport, check_validity
+
+
+class ReductionError(Exception):
+    """Raised on misuse of the reduction operation (not on invalid results)."""
+
+
+@dataclass
+class ReductionResult:
+    """Outcome of a forward reduction attempt."""
+
+    sg: Optional[StateGraph]
+    valid: bool
+    reason: str = ""
+    removed_arcs: int = 0
+    removed_states: int = 0
+
+    def __bool__(self) -> bool:
+        return self.valid
+
+
+def forward_reduction(sg: StateGraph, delayed: str, before: str,
+                      validate: bool = True) -> ReductionResult:
+    """Apply ``FwdRed(delayed, before)``: make ``delayed`` wait for ``before``.
+
+    ``delayed`` must be a non-input event (inputs cannot be delayed by the
+    circuit, condition 2a of Definition 5.1).  Returns an invalid result --
+    never raises -- when the events are not concurrent or the reduction
+    violates validity, so the exploration loop can just skip it.
+    """
+    if delayed not in sg.events or before not in sg.events:
+        raise ReductionError(f"unknown event: {delayed!r} or {before!r}")
+    if delayed == before:
+        raise ReductionError("cannot reduce an event against itself")
+    if sg.is_input_label(delayed):
+        return ReductionResult(None, False,
+                               f"{delayed} is an input event and cannot be delayed")
+
+    er_delayed = excitation_region(sg, delayed)
+    er_before = excitation_region(sg, before)
+    intersection = er_delayed & er_before
+    if not intersection:
+        return ReductionResult(None, False,
+                               f"{delayed} and {before} are not concurrent")
+
+    truncated = sg.backward_reachable(intersection, within=er_delayed)
+    truncated |= intersection
+    if truncated >= er_delayed:
+        return ReductionResult(None, False,
+                               f"reduction would remove every occurrence of {delayed}")
+
+    reduced = sg.copy(f"{sg.name}")
+    for state in truncated:
+        reduced.remove_arc(state, delayed)
+    removed_states = reduced.restrict_to_reachable()
+
+    if validate:
+        report = check_validity(sg, reduced)
+        if not report.valid:
+            return ReductionResult(None, False, "; ".join(report.reasons),
+                                   removed_arcs=len(truncated),
+                                   removed_states=removed_states)
+    return ReductionResult(reduced, True, "",
+                           removed_arcs=len(truncated),
+                           removed_states=removed_states)
+
+
+def reducible_pairs(sg: StateGraph,
+                    keep_conc: FrozenSet[FrozenSet[str]] = frozenset()) -> Set[Tuple[str, str]]:
+    """All ordered pairs ``(before, delayed)`` eligible for FwdRed.
+
+    ``delayed`` ranges over non-input events concurrent with ``before``;
+    pairs whose unordered form appears in ``keep_conc`` are excluded (they
+    are the designer's performance-critical concurrency, Fig. 9).
+    """
+    from ..sg.regions import concurrent_pairs
+
+    pairs: Set[Tuple[str, str]] = set()
+    for label_a, label_b in concurrent_pairs(sg):
+        if frozenset((label_a, label_b)) in keep_conc:
+            continue
+        for before, delayed in ((label_a, label_b), (label_b, label_a)):
+            if not sg.is_input_label(delayed):
+                pairs.add((before, delayed))
+    return pairs

@@ -1,0 +1,83 @@
+"""Validity of concurrency reductions (Section 5, Definition 5.1).
+
+A reduced SG is valid when:
+
+1. speed-independence is preserved (commutativity and determinism cannot
+   break under arc removal, so only output persistency is checked);
+2. the I/O interface is preserved (no input transition delayed; the initial
+   state survives up to internal events);
+3. no event disappears (every event with a non-empty ER keeps one);
+4. no new deadlock states appear.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, List, Optional, Set, Tuple
+
+from ..sg.graph import State, StateGraph
+from ..sg.properties import persistency_violations
+from ..petri.stg import SignalKind
+
+
+@dataclass(frozen=True)
+class ValidityReport:
+    """Outcome of the Definition 5.1 checks."""
+
+    valid: bool
+    reasons: Tuple[str, ...] = ()
+
+    def __bool__(self) -> bool:
+        return self.valid
+
+
+def _persistency_signature(sg: StateGraph) -> Set[Tuple[State, str, str]]:
+    return {(v.state, v.disabled, v.by) for v in persistency_violations(sg)}
+
+
+def check_validity(original: StateGraph, reduced: StateGraph) -> ValidityReport:
+    """Run all Definition 5.1 checks of ``reduced`` against ``original``."""
+    reasons: List[str] = []
+
+    # (3) no events disappear
+    original_events = {label for _, label, _ in original.arcs()}
+    reduced_events = {label for _, label, _ in reduced.arcs()}
+    lost = original_events - reduced_events
+    if lost:
+        reasons.append(f"events disappeared: {sorted(lost)}")
+
+    # (4) no new deadlocks
+    for state in reduced.states:
+        if reduced.enabled(state):
+            continue
+        if state in original and original.enabled(state):
+            reasons.append(f"new deadlock at state {state!r}")
+            break
+
+    # (2b) initial state preserved (arc removal keeps states, so the original
+    # initial state must still exist and be the initial state).
+    if reduced.initial != original.initial or reduced.initial not in reduced:
+        reasons.append("initial state changed")
+
+    # (2a) no input transition delayed: every state surviving reduction must
+    # enable the same input events it enabled originally.
+    for state in reduced.states:
+        if state not in original:
+            continue
+        original_inputs = {label for label in original.enabled(state)
+                           if original.is_input_label(label)}
+        reduced_inputs = {label for label in reduced.enabled(state)
+                          if reduced.is_input_label(label)}
+        missing = original_inputs - reduced_inputs
+        if missing:
+            reasons.append(f"input events {sorted(missing)} delayed at {state!r}")
+            break
+
+    # (1) output persistency preserved: no *new* violations.
+    new_violations = _persistency_signature(reduced) - _persistency_signature(original)
+    if new_violations:
+        state, disabled, by = next(iter(new_violations))
+        reasons.append(
+            f"persistency violated: {disabled} disabled by {by} at {state!r}")
+
+    return ValidityReport(valid=not reasons, reasons=tuple(reasons))

@@ -1,0 +1,1 @@
+"""State graphs: generation, implementability checks, regions, resynthesis."""

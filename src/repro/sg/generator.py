@@ -1,0 +1,254 @@
+"""State-graph generation from an STG.
+
+Plays the token game over the STG's underlying Petri net, then assigns a
+binary code to every reachable marking by constraint propagation: firing
+``a+`` requires ``a`` to be 0 before and 1 after, firing ``a~`` flips the
+value, and every other signal keeps its value across the arc.  Constraints
+are solved with a parity union-find, so toggle (2-phase) specifications are
+handled uniformly with 4-phase ones; genuine inconsistencies are reported
+with a witness.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Optional, Tuple
+
+from ..petri.net import Marking, PetriNetError
+from ..petri.stg import STG, Direction, SignalEvent, SignalKind
+from .graph import StateGraph, StateGraphError
+
+
+class ConsistencyError(StateGraphError):
+    """The STG admits no consistent binary encoding."""
+
+
+class _ParityUnionFind:
+    """Union-find over variables related by equality or inequality (XOR).
+
+    Each variable carries a parity relative to its class representative;
+    uniting two variables with parity 1 states they must differ.
+    """
+
+    def __init__(self) -> None:
+        self._parent: Dict[Hashable, Hashable] = {}
+        self._parity: Dict[Hashable, int] = {}
+
+    def find(self, item: Hashable) -> Tuple[Hashable, int]:
+        if item not in self._parent:
+            self._parent[item] = item
+            self._parity[item] = 0
+            return item, 0
+        path = []
+        node = item
+        while self._parent[node] != node:
+            path.append(node)
+            node = self._parent[node]
+        parity = 0
+        for step in reversed(path):
+            parity ^= self._parity[step]
+            self._parent[step] = node
+            self._parity[step] = parity
+        return node, self._parity[item]
+
+    def union(self, a: Hashable, b: Hashable, parity: int) -> bool:
+        """Assert ``value(a) == value(b) XOR parity``; False on contradiction."""
+        root_a, parity_a = self.find(a)
+        root_b, parity_b = self.find(b)
+        if root_a == root_b:
+            return (parity_a ^ parity_b) == parity
+        self._parent[root_a] = root_b
+        self._parity[root_a] = parity_a ^ parity_b ^ parity
+        return True
+
+
+def generate_sg(stg: STG, limit: int = 200_000,
+                name: Optional[str] = None) -> StateGraph:
+    """Build the state graph of an STG.
+
+    For purely rise/fall STGs the states are the reachable markings and the
+    binary codes are solved by constraint propagation (initial values are
+    inferred).  STGs containing toggle events (2-phase refinements) are
+    *unfolded*: a state is a (marking, signal values) pair, since a marking
+    revisited after an odd number of toggles is a different binary state.
+
+    Raises :class:`ConsistencyError` when no consistent encoding exists and
+    :class:`StateGraphError` when the STG still contains dummy transitions
+    (refine them away before synthesis).
+    """
+    has_toggle = False
+    for transition in stg.net.transitions:
+        if transition.label is None:
+            raise StateGraphError(
+                f"STG contains dummy transition {transition.name!r}; "
+                "state graphs for synthesis must be dummy-free")
+        if (isinstance(transition.label, SignalEvent)
+                and transition.label.direction == Direction.TOGGLE):
+            has_toggle = True
+    if has_toggle:
+        return _generate_unfolded(stg, limit, name)
+
+    sg = StateGraph(name or stg.name)
+    for signal, kind in stg.signals.items():
+        if kind == SignalKind.DUMMY:
+            continue
+        sg.declare_signal(signal, kind)
+    for transition in stg.net.transition_names:
+        sg.declare_event(transition, stg.event_of(transition))
+
+    initial = stg.net.initial_marking()
+    sg.add_state(initial)
+    sg.initial = initial
+
+    frontier = [initial]
+    seen = {initial}
+    arcs: List[Tuple[Marking, str, Marking]] = []
+    while frontier:
+        marking = frontier.pop()
+        for transition in stg.net.enabled_transitions(marking):
+            nxt = stg.net.fire(transition, marking)
+            arcs.append((marking, transition, nxt))
+            if nxt not in seen:
+                seen.add(nxt)
+                if len(seen) > limit:
+                    raise StateGraphError(f"state graph exceeded {limit} states")
+                frontier.append(nxt)
+    for source, label, target in arcs:
+        sg.add_arc(source, label, target)
+
+    _assign_codes(stg, sg)
+    return sg
+
+
+def _generate_unfolded(stg: STG, limit: int, name: Optional[str]) -> StateGraph:
+    """SG generation with explicit signal values in the state (2-phase).
+
+    The initial values come from ``stg.initial_values`` (default 0); firing
+    a rising transition from a high state (or falling from low) witnesses an
+    inconsistent specification.
+    """
+    sg = StateGraph(name or stg.name)
+    for signal, kind in stg.signals.items():
+        if kind == SignalKind.DUMMY:
+            continue
+        sg.declare_signal(signal, kind)
+    for transition in stg.net.transition_names:
+        sg.declare_event(transition, stg.event_of(transition))
+    index = {signal: i for i, signal in enumerate(sg.signals)}
+
+    initial_values = tuple(stg.initial_values.get(s, 0) for s in sg.signals)
+    initial = (stg.net.initial_marking(), initial_values)
+    sg.add_state(initial, initial_values)
+    sg.initial = initial
+    frontier = [initial]
+    seen = {initial}
+    while frontier:
+        state = frontier.pop()
+        marking, values = state
+        for transition in stg.net.enabled_transitions(marking):
+            event = stg.event_of(transition)
+            position = index[event.signal]
+            current = values[position]
+            if event.direction == Direction.RISE and current != 0:
+                raise ConsistencyError(
+                    f"{transition} fires with {event.signal} already high")
+            if event.direction == Direction.FALL and current != 1:
+                raise ConsistencyError(
+                    f"{transition} fires with {event.signal} already low")
+            new_values = list(values)
+            new_values[position] = 1 - current
+            target = (stg.net.fire(transition, marking), tuple(new_values))
+            if target not in seen:
+                seen.add(target)
+                if len(seen) > limit:
+                    raise StateGraphError(f"state graph exceeded {limit} states")
+                sg.add_state(target, target[1])
+                frontier.append(target)
+            sg.add_arc(state, transition, target)
+    return sg
+
+
+def _assign_codes(stg: STG, sg: StateGraph) -> None:
+    """Solve the encoding constraints and write codes into ``sg``."""
+    union_find = _ParityUnionFind()
+    fixed: Dict[Hashable, Tuple[int, str]] = {}  # representative -> (value, why)
+
+    def fix(var: Hashable, value: int, why: str) -> None:
+        root, parity = union_find.find(var)
+        want = value ^ parity
+        if root in fixed and fixed[root][0] != want:
+            raise ConsistencyError(
+                f"inconsistent encoding: {why} conflicts with {fixed[root][1]}")
+        fixed.setdefault(root, (want, why))
+
+    for source, label, target in sg.arcs():
+        event = sg.events[label]
+        for signal in sg.signals:
+            src_var = (source, signal)
+            dst_var = (target, signal)
+            if signal == event.signal:
+                if event.direction == Direction.RISE:
+                    fix(src_var, 0, f"{label} fired from state with {signal}=1")
+                    fix(dst_var, 1, f"{label} fired into state with {signal}=0")
+                elif event.direction == Direction.FALL:
+                    fix(src_var, 1, f"{label} fired from state with {signal}=0")
+                    fix(dst_var, 0, f"{label} fired into state with {signal}=1")
+                else:  # toggle
+                    if not union_find.union(src_var, dst_var, 1):
+                        raise ConsistencyError(
+                            f"toggle {label} requires {signal} to flip, but the "
+                            f"states are already constrained equal")
+            else:
+                if not union_find.union(src_var, dst_var, 0):
+                    raise ConsistencyError(
+                        f"firing {label} must preserve {signal}, but the states "
+                        f"are constrained to differ")
+
+    # Re-check fixed values against merged classes (unions after fixes).
+    merged: Dict[Hashable, Tuple[int, str]] = {}
+    for root, (value, why) in list(fixed.items()):
+        rep, parity = union_find.find(root)
+        want = value ^ parity
+        if rep in merged and merged[rep][0] != want:
+            raise ConsistencyError(
+                f"inconsistent encoding: {why} conflicts with {merged[rep][1]}")
+        merged.setdefault(rep, (want, why))
+
+    codes: Dict[Hashable, List[int]] = {state: [] for state in sg.states}
+    for state in sg.states:
+        for signal in sg.signals:
+            rep, parity = union_find.find((state, signal))
+            if rep in merged:
+                value = merged[rep][0] ^ parity
+            else:
+                # Unconstrained class: seed from the declared initial value of
+                # the signal at the initial state, defaulting to 0.
+                init_rep, init_parity = union_find.find((sg.initial, signal))
+                if init_rep == rep:
+                    seed = stg.initial_values.get(signal, 0)
+                    value = seed ^ init_parity ^ parity
+                else:
+                    value = stg.initial_values.get(signal, 0) ^ parity
+            codes[state].append(value)
+    for state, code in codes.items():
+        sg.codes[state] = tuple(code)
+
+    # Honour explicitly declared initial values when they are consistent.
+    for signal, declared in stg.initial_values.items():
+        if signal not in sg.kinds:
+            continue
+        index = sg.signal_index(signal)
+        actual = sg.codes[sg.initial][index]
+        if actual != declared:
+            rep, _ = union_find.find((sg.initial, signal))
+            if rep in merged:
+                raise ConsistencyError(
+                    f"declared initial value {signal}={declared} contradicts the "
+                    f"encoding forced by the STG ({signal}={actual} at the initial "
+                    f"state)")
+            # Free signal: flip the whole (connected) class.
+            for state in sg.states:
+                state_rep, parity = union_find.find((state, signal))
+                if state_rep == rep:
+                    code = list(sg.codes[state])
+                    code[index] ^= 1
+                    sg.codes[state] = tuple(code)

@@ -1,0 +1,271 @@
+"""State graphs.
+
+A State Graph (SG) is the reachability graph of an STG: nodes are markings
+labelled with a vector of binary signal values, arcs are labelled with the
+fired transition.  The SG is the model on which the paper performs
+concurrency reduction (Sections 5-6), so this class supports arc and state
+removal in addition to the usual queries.
+
+States are opaque hashable objects (marking tuples when generated from an
+STG, strings when built by hand in tests).  Arc labels are transition names;
+``events`` maps each label to its :class:`~repro.petri.stg.SignalEvent`
+(dummy labels are not allowed in an SG used for synthesis).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, FrozenSet, Hashable, Iterable, Iterator, List, Optional, Set, Tuple
+
+from ..petri.stg import Direction, SignalEvent, SignalKind
+
+State = Hashable
+Code = Tuple[int, ...]
+
+
+class StateGraphError(Exception):
+    """Raised for invalid state-graph operations."""
+
+
+class StateGraph:
+    """A finite, deterministic-by-construction labelled transition system."""
+
+    def __init__(self, name: str = "sg") -> None:
+        self.name = name
+        self.signals: List[str] = []
+        self.kinds: Dict[str, SignalKind] = {}
+        self.events: Dict[str, SignalEvent] = {}
+        self.initial: Optional[State] = None
+        self._succ: Dict[State, Dict[str, State]] = {}
+        self._pred: Dict[State, Set[Tuple[str, State]]] = {}
+        self.codes: Dict[State, Code] = {}
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def declare_signal(self, name: str, kind: SignalKind) -> None:
+        if name in self.kinds:
+            if self.kinds[name] != kind:
+                raise StateGraphError(f"signal {name!r} redeclared with different kind")
+            return
+        self.signals.append(name)
+        self.kinds[name] = kind
+
+    def declare_event(self, label: str, event: Optional[SignalEvent] = None) -> None:
+        """Register an arc label and its signal event.
+
+        When ``event`` is omitted, the label itself is parsed as an event.
+        """
+        if event is None:
+            event = SignalEvent.parse(label)
+        if event.signal not in self.kinds:
+            raise StateGraphError(f"undeclared signal {event.signal!r}")
+        existing = self.events.get(label)
+        if existing is not None and existing != event:
+            raise StateGraphError(f"label {label!r} redeclared with different event")
+        self.events[label] = event
+
+    def add_state(self, state: State, code: Optional[Code] = None) -> None:
+        if state not in self._succ:
+            self._succ[state] = {}
+            self._pred[state] = set()
+        if code is not None:
+            if len(code) != len(self.signals):
+                raise StateGraphError("code length does not match signal count")
+            self.codes[state] = tuple(code)
+        if self.initial is None:
+            self.initial = state
+
+    def add_arc(self, source: State, label: str, target: State) -> None:
+        """Add ``source --label--> target``; labels must be declared events."""
+        if label not in self.events:
+            raise StateGraphError(f"undeclared event label {label!r}")
+        self.add_state(source)
+        self.add_state(target)
+        existing = self._succ[source].get(label)
+        if existing is not None and existing != target:
+            raise StateGraphError(
+                f"nondeterminism: {source!r} --{label}--> both {existing!r} and {target!r}")
+        self._succ[source][label] = target
+        self._pred[target].add((label, source))
+
+    def remove_arc(self, source: State, label: str) -> None:
+        """Remove the unique arc labelled ``label`` leaving ``source``."""
+        target = self._succ.get(source, {}).pop(label, None)
+        if target is None:
+            raise StateGraphError(f"no arc {source!r} --{label}-->")
+        self._pred[target].discard((label, source))
+
+    def remove_state(self, state: State) -> None:
+        """Remove a state and all arcs incident to it."""
+        if state not in self._succ:
+            raise StateGraphError(f"unknown state {state!r}")
+        for label, target in list(self._succ[state].items()):
+            self._pred[target].discard((label, state))
+        for label, source in list(self._pred[state]):
+            self._succ[source].pop(label, None)
+        del self._succ[state]
+        del self._pred[state]
+        self.codes.pop(state, None)
+        if self.initial == state:
+            self.initial = None
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    @property
+    def states(self) -> List[State]:
+        return list(self._succ)
+
+    def __len__(self) -> int:
+        return len(self._succ)
+
+    def __contains__(self, state: State) -> bool:
+        return state in self._succ
+
+    def successors(self, state: State) -> Dict[str, State]:
+        """Outgoing arcs of a state as ``{label: target}``."""
+        if state not in self._succ:
+            raise StateGraphError(f"unknown state {state!r}")
+        return dict(self._succ[state])
+
+    def predecessors(self, state: State) -> Set[Tuple[str, State]]:
+        """Incoming arcs of a state as ``{(label, source)}``."""
+        if state not in self._pred:
+            raise StateGraphError(f"unknown state {state!r}")
+        return set(self._pred[state])
+
+    def arcs(self) -> Iterator[Tuple[State, str, State]]:
+        """Iterate over all arcs as (source, label, target)."""
+        for source, outgoing in self._succ.items():
+            for label, target in outgoing.items():
+                yield source, label, target
+
+    def arc_count(self) -> int:
+        return sum(len(out) for out in self._succ.values())
+
+    def enabled(self, state: State) -> List[str]:
+        """Labels enabled at a state."""
+        return list(self._succ[state])
+
+    def target(self, state: State, label: str) -> Optional[State]:
+        """The state reached by firing ``label``, or None if not enabled."""
+        return self._succ.get(state, {}).get(label)
+
+    def labels(self) -> List[str]:
+        """All declared arc labels."""
+        return list(self.events)
+
+    def labels_of_signal(self, signal: str) -> List[str]:
+        return [label for label, event in self.events.items() if event.signal == signal]
+
+    def is_input_label(self, label: str) -> bool:
+        return self.kinds[self.events[label].signal] == SignalKind.INPUT
+
+    def code_of(self, state: State) -> Code:
+        try:
+            return self.codes[state]
+        except KeyError:
+            raise StateGraphError(f"state {state!r} has no binary code") from None
+
+    def value_of(self, state: State, signal: str) -> int:
+        return self.code_of(state)[self.signal_index(signal)]
+
+    def signal_index(self, signal: str) -> int:
+        try:
+            return self.signals.index(signal)
+        except ValueError:
+            raise StateGraphError(f"undeclared signal {signal!r}") from None
+
+    # ------------------------------------------------------------------
+    # reachability
+    # ------------------------------------------------------------------
+    def reachable_from(self, start: Optional[State] = None) -> Set[State]:
+        """Forward-reachable states from ``start`` (default: initial)."""
+        start = self.initial if start is None else start
+        if start is None or start not in self._succ:
+            return set()
+        seen = {start}
+        queue = deque([start])
+        while queue:
+            state = queue.popleft()
+            for target in self._succ[state].values():
+                if target not in seen:
+                    seen.add(target)
+                    queue.append(target)
+        return seen
+
+    def backward_reachable(self, targets: Iterable[State],
+                           within: Optional[Set[State]] = None) -> Set[State]:
+        """States from which some target is reachable.
+
+        When ``within`` is given, the search only traverses states inside
+        that set (used by FwdRed to stay inside an excitation region).
+        Targets themselves are included when they belong to ``within`` (or
+        unconditionally if ``within`` is None).
+        """
+        result: Set[State] = set()
+        queue: deque = deque()
+        for target in targets:
+            if target in self._succ and (within is None or target in within):
+                result.add(target)
+                queue.append(target)
+        while queue:
+            state = queue.popleft()
+            for _, source in self._pred[state]:
+                if source in result:
+                    continue
+                if within is not None and source not in within:
+                    continue
+                result.add(source)
+                queue.append(source)
+        return result
+
+    def restrict_to_reachable(self) -> int:
+        """Drop states unreachable from the initial state; returns the count removed."""
+        reachable = self.reachable_from()
+        removed = 0
+        for state in [s for s in self._succ if s not in reachable]:
+            self.remove_state(state)
+            removed += 1
+        return removed
+
+    # ------------------------------------------------------------------
+    # utilities
+    # ------------------------------------------------------------------
+    def copy(self, name: Optional[str] = None) -> "StateGraph":
+        clone = StateGraph(name or self.name)
+        clone.signals = list(self.signals)
+        clone.kinds = dict(self.kinds)
+        clone.events = dict(self.events)
+        clone.initial = self.initial
+        clone._succ = {s: dict(out) for s, out in self._succ.items()}
+        clone._pred = {s: set(inc) for s, inc in self._pred.items()}
+        clone.codes = dict(self.codes)
+        return clone
+
+    def code_string(self, state: State) -> str:
+        """Human-readable code with ``*`` marking excited signals (as in Fig. 1d)."""
+        code = self.code_of(state)
+        enabled_signals = {self.events[label].signal for label in self._succ[state]}
+        parts = []
+        for signal, value in zip(self.signals, code):
+            parts.append(f"{value}*" if signal in enabled_signals else str(value))
+        return "".join(parts)
+
+    def to_dot(self) -> str:
+        """GraphViz rendering for debugging and documentation."""
+        lines = [f'digraph "{self.name}" {{', '  node [shape=box];']
+        ids = {state: f"s{i}" for i, state in enumerate(self._succ)}
+        for state, sid in ids.items():
+            label = self.code_string(state) if state in self.codes else str(state)
+            shape = ' peripheries=2' if state == self.initial else ''
+            lines.append(f'  {sid} [label="{label}"{shape}];')
+        for source, label, target in self.arcs():
+            lines.append(f'  {ids[source]} -> {ids[target]} [label="{label}"];')
+        lines.append("}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (f"StateGraph({self.name!r}, |S|={len(self._succ)}, "
+                f"|A|={self.arc_count()})")

@@ -1,0 +1,255 @@
+"""Implementability checks on state graphs.
+
+Section 2 of the paper requires, beyond consistency:
+
+* **speed independence** = determinism + commutativity + output persistency;
+* **Complete State Coding (CSC)**: equal binary codes imply equal sets of
+  enabled *non-input* events.
+
+Each predicate has a companion ``*_violations`` function that returns
+witnesses, which the validity checker and the test suite both use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..petri.stg import Direction, SignalKind
+from .graph import State, StateGraph
+
+
+@dataclass(frozen=True)
+class ConsistencyViolation:
+    """An arc whose labelling contradicts the binary codes."""
+
+    source: State
+    label: str
+    target: State
+    reason: str
+
+
+def consistency_violations(sg: StateGraph) -> List[ConsistencyViolation]:
+    """Arcs that violate the coded-arc rules (rise from 0 to 1, etc.)."""
+    violations = []
+    for source, label, target in sg.arcs():
+        event = sg.events[label]
+        src_code = sg.code_of(source)
+        dst_code = sg.code_of(target)
+        index = sg.signal_index(event.signal)
+        if event.direction == Direction.RISE:
+            ok = src_code[index] == 0 and dst_code[index] == 1
+        elif event.direction == Direction.FALL:
+            ok = src_code[index] == 1 and dst_code[index] == 0
+        else:
+            ok = src_code[index] != dst_code[index]
+        if not ok:
+            violations.append(ConsistencyViolation(
+                source, label, target,
+                f"{event.signal} goes {src_code[index]}->{dst_code[index]} on {label}"))
+            continue
+        for i, signal in enumerate(sg.signals):
+            if i != index and src_code[i] != dst_code[i]:
+                violations.append(ConsistencyViolation(
+                    source, label, target,
+                    f"{signal} changes {src_code[i]}->{dst_code[i]} on {label}"))
+    return violations
+
+
+def is_consistent(sg: StateGraph) -> bool:
+    return not consistency_violations(sg)
+
+
+def is_deterministic(sg: StateGraph) -> bool:
+    """Always true for :class:`StateGraph` (enforced at construction)."""
+    return True
+
+
+@dataclass(frozen=True)
+class CommutativityViolation:
+    """A broken diamond: both orders fire but reach different states."""
+
+    state: State
+    label_a: str
+    label_b: str
+    via_a: State
+    via_b: State
+
+
+def commutativity_violations(sg: StateGraph) -> List[CommutativityViolation]:
+    """States where two events fire in both orders to different states."""
+    violations = []
+    for state in sg.states:
+        enabled = sg.enabled(state)
+        for i, label_a in enumerate(enabled):
+            for label_b in enabled[i + 1:]:
+                via_a = sg.target(state, label_a)
+                via_b = sg.target(state, label_b)
+                end_ab = sg.target(via_a, label_b)
+                end_ba = sg.target(via_b, label_a)
+                if end_ab is not None and end_ba is not None and end_ab != end_ba:
+                    violations.append(CommutativityViolation(
+                        state, label_a, label_b, via_a, via_b))
+    return violations
+
+
+def is_commutative(sg: StateGraph) -> bool:
+    return not commutativity_violations(sg)
+
+
+@dataclass(frozen=True)
+class PersistencyViolation:
+    """Event ``disabled`` was enabled at ``state`` but not after ``by``."""
+
+    state: State
+    disabled: str
+    by: str
+
+
+def persistency_violations(sg: StateGraph,
+                           check_inputs: bool = True) -> List[PersistencyViolation]:
+    """Output-persistency violations (Section 2).
+
+    A non-input event must stay enabled until it fires; an input event may
+    be disabled, but only by another input (the environment changing its
+    mind), never by an output or internal event -- unless ``check_inputs``
+    is False, in which case input disabling is ignored entirely.
+    """
+    violations = []
+    for state in sg.states:
+        enabled = sg.enabled(state)
+        for label in enabled:
+            for other in enabled:
+                if other == label:
+                    continue
+                after = sg.target(state, other)
+                if sg.target(after, label) is not None:
+                    continue
+                label_is_input = sg.is_input_label(label)
+                other_is_input = sg.is_input_label(other)
+                if not label_is_input:
+                    violations.append(PersistencyViolation(state, label, other))
+                elif check_inputs and not other_is_input:
+                    violations.append(PersistencyViolation(state, label, other))
+    return violations
+
+
+def is_output_persistent(sg: StateGraph) -> bool:
+    return not persistency_violations(sg)
+
+
+def is_speed_independent(sg: StateGraph) -> bool:
+    """Determinism + commutativity + output persistency."""
+    return is_commutative(sg) and is_output_persistent(sg)
+
+
+@dataclass(frozen=True)
+class CSCConflict:
+    """Two states with identical codes but different non-input excitation."""
+
+    state_a: State
+    state_b: State
+    code: Tuple[int, ...]
+    excited_a: frozenset = frozenset()
+    excited_b: frozenset = frozenset()
+
+
+def _excited_signals(sg: StateGraph, state: State, non_input_only: bool) -> frozenset:
+    signals = set()
+    for label in sg.enabled(state):
+        event = sg.events[label]
+        if non_input_only and sg.kinds[event.signal] == SignalKind.INPUT:
+            continue
+        signals.add((event.signal, event.direction.value))
+    return frozenset(signals)
+
+
+def csc_conflicts(sg: StateGraph) -> List[CSCConflict]:
+    """All CSC conflict pairs (unordered, each pair reported once)."""
+    by_code: Dict[Tuple[int, ...], List[State]] = {}
+    for state in sg.states:
+        by_code.setdefault(sg.code_of(state), []).append(state)
+    conflicts = []
+    for code, states in by_code.items():
+        if len(states) < 2:
+            continue
+        for i, state_a in enumerate(states):
+            excited_a = _excited_signals(sg, state_a, non_input_only=True)
+            for state_b in states[i + 1:]:
+                excited_b = _excited_signals(sg, state_b, non_input_only=True)
+                if excited_a != excited_b:
+                    conflicts.append(CSCConflict(state_a, state_b, code,
+                                                 excited_a, excited_b))
+    return conflicts
+
+
+def usc_conflicts(sg: StateGraph) -> List[Tuple[State, State]]:
+    """Pairs of distinct states sharing a binary code (Unique State Coding)."""
+    by_code: Dict[Tuple[int, ...], List[State]] = {}
+    for state in sg.states:
+        by_code.setdefault(sg.code_of(state), []).append(state)
+    pairs = []
+    for states in by_code.values():
+        for i, state_a in enumerate(states):
+            for state_b in states[i + 1:]:
+                pairs.append((state_a, state_b))
+    return pairs
+
+
+def has_csc(sg: StateGraph) -> bool:
+    return not csc_conflicts(sg)
+
+
+def has_usc(sg: StateGraph) -> bool:
+    return not usc_conflicts(sg)
+
+
+def csc_conflicting_signals(sg: StateGraph) -> Set[str]:
+    """Signals whose excitation differs in at least one CSC conflict pair."""
+    signals: Set[str] = set()
+    for conflict in csc_conflicts(sg):
+        for signal, _ in conflict.excited_a.symmetric_difference(conflict.excited_b):
+            signals.add(signal)
+    return signals
+
+
+def deadlock_states(sg: StateGraph) -> List[State]:
+    """States with no outgoing arcs."""
+    return [state for state in sg.states if not sg.enabled(state)]
+
+
+@dataclass
+class ImplementabilityReport:
+    """Aggregate of all checks, convenient for flows and tests."""
+
+    consistent: bool
+    deterministic: bool
+    commutative: bool
+    output_persistent: bool
+    csc: bool
+    usc: bool
+    deadlock_free: bool
+    csc_conflict_count: int
+
+    @property
+    def speed_independent(self) -> bool:
+        return self.deterministic and self.commutative and self.output_persistent
+
+    @property
+    def implementable(self) -> bool:
+        return self.consistent and self.speed_independent and self.csc
+
+
+def check_implementability(sg: StateGraph) -> ImplementabilityReport:
+    """Run every check and return a report."""
+    conflicts = csc_conflicts(sg)
+    return ImplementabilityReport(
+        consistent=is_consistent(sg),
+        deterministic=True,
+        commutative=is_commutative(sg),
+        output_persistent=is_output_persistent(sg),
+        csc=not conflicts,
+        usc=has_usc(sg),
+        deadlock_free=not deadlock_states(sg),
+        csc_conflict_count=len(conflicts),
+    )

@@ -1,0 +1,1 @@
+"""The paper's benchmark specifications: Fig. 1, LR, PAR, MMU, fragments."""

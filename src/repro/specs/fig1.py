@@ -1,0 +1,35 @@
+"""The simple memory/processor controller of Fig. 1.
+
+An operational cycle: the processor raises ``Req``, the controller answers
+with ``Ack``; the processor may reset ``Req`` and immediately start a new
+cycle without waiting for ``Ack`` to fall, so ``Req+`` and ``Ack-`` are
+concurrent.  The resulting SG is consistent and output-persistent but has a
+CSC conflict (states ``11*`` and ``1*1`` share the code 11), which makes it
+the paper's introductory example of why encoding matters.
+"""
+
+from __future__ import annotations
+
+from ..petri.stg import STG, SignalKind
+
+
+def fig1_stg() -> STG:
+    """The STG of Fig. 1.c (five implicit places, two tokens)."""
+    stg = STG("fig1_controller")
+    stg.declare_signal("Req", SignalKind.INPUT)
+    stg.declare_signal("Ack", SignalKind.OUTPUT)
+    for event in ("Req+", "Req-", "Ack+", "Ack-"):
+        stg.add_event(event)
+    stg.connect("Req+", "Ack+")
+    stg.connect("Ack-", "Ack+")
+    stg.connect("Ack+", "Req-")
+    stg.connect("Req-", "Ack-")
+    stg.connect("Req-", "Req+")
+    stg.mark("<Req+,Ack+>", "<Ack-,Ack+>")
+    stg.set_initial_value("Req", 1)
+    stg.set_initial_value("Ack", 0)
+    return stg
+
+
+#: Binary codes of the two CSC-conflicting states (Ack, Req) = (1, 1).
+CONFLICT_CODE = (1, 1)

@@ -1,0 +1,69 @@
+"""Hand-built fragments from the paper's figures.
+
+* :func:`fig8_sg` -- the SG fragment of Fig. 8 (choice + concurrency) on
+  which ``FwdRed(a, b)`` removes the concurrency of ``a`` with ``b``, ``d``
+  *and* ``e`` in a single step;
+* :func:`fig6_spec` -- the mixed specification of Fig. 6: one channel, one
+  partially specified signal, one completely specified signal.
+"""
+
+from __future__ import annotations
+
+from ..hse.spec import ChannelRole, PartialSpec
+from ..petri.stg import Direction, SignalEvent, SignalKind
+from ..sg.graph import StateGraph
+
+
+def fig8_sg() -> StateGraph:
+    """The Fig. 8 SG fragment.
+
+    Events ``a``, ``b``, ``d``, ``e`` plus the choice event ``g`` (the
+    figure's non-persistent branch) and the prefix event ``c``.  ``a`` is
+    concurrent with ``d``, ``e`` and ``b``; ``b`` is only enabled at the
+    end, so the backward reachability in ``FwdRed(a, b)`` truncates the
+    whole excitation region of ``a`` except its final state.
+    """
+    sg = StateGraph("fig8")
+    for signal in ("a", "b", "c", "d", "e", "g"):
+        sg.declare_signal(signal, SignalKind.OUTPUT)
+        sg.declare_event(signal, SignalEvent(signal, Direction.RISE))
+    sg.add_state("s0")
+    sg.initial = "s0"
+    sg.add_arc("s0", "c", "s1")
+    # diamond a || d
+    sg.add_arc("s1", "a", "s2")
+    sg.add_arc("s1", "d", "s3")
+    sg.add_arc("s2", "d", "s4")
+    sg.add_arc("s3", "a", "s4")
+    # diamond a || e (e follows d)
+    sg.add_arc("s3", "e", "s5")
+    sg.add_arc("s4", "e", "s6")
+    sg.add_arc("s5", "a", "s6")
+    # diamond a || b (b follows e)
+    sg.add_arc("s5", "b", "s7")
+    sg.add_arc("s6", "b", "s8")
+    sg.add_arc("s7", "a", "s8")
+    # the non-persistent choice: g competes with a and d at s1
+    sg.add_arc("s1", "g", "t1")
+    return sg
+
+
+def fig6_spec() -> PartialSpec:
+    """Fig. 6.a: channel ``a``, partial signal ``b``, full signal ``c``.
+
+    The cycle ``a! ; b ; c+ ; a? ; b ; c-`` uses the channel in both roles
+    (active then passive within one iteration), which is why its expansion
+    relies on the role-free return-to-zero structure of Fig. 5.c.
+    """
+    spec = PartialSpec("fig6")
+    spec.declare_channel("a", ChannelRole.FREE)
+    spec.declare_partial_signal("b", SignalKind.OUTPUT)
+    spec.declare_signal("c", SignalKind.OUTPUT)
+    first_b = spec.add("b")
+    second_b = spec.add("b/1")
+    for event in ("a!", "c+", "a?", "c-"):
+        spec.add(event)
+    spec.chain("a!", first_b, "c+", "a?", second_b, "c-")
+    spec.connect("c-", "a!")
+    spec.mark("<c-,a!>")
+    return spec

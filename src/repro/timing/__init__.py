@@ -1,0 +1,1 @@
+"""Delay models and critical-cycle extraction by timed simulation."""

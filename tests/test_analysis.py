@@ -1,0 +1,122 @@
+"""Unit tests for structural/behavioural net analysis (repro.petri.analysis)."""
+
+import pytest
+
+from repro.petri.analysis import (bound, dead_transitions, deadlock_markings,
+                                  is_deadlock_free, is_free_choice,
+                                  is_marked_graph, is_safe, is_state_machine,
+                                  isolated_places, live_transitions,
+                                  redundant_places, strongly_connected)
+from repro.petri.net import PetriNet
+from repro.specs.fig1 import fig1_stg
+from repro.specs.lr import lr_expanded, q_module_stg
+
+
+def ring(tokens=1):
+    net = PetriNet("ring")
+    net.add_place("p0", tokens=tokens)
+    net.add_place("p1")
+    net.add_transition("t0")
+    net.add_transition("t1")
+    net.add_arc("p0", "t0")
+    net.add_arc("t0", "p1")
+    net.add_arc("p1", "t1")
+    net.add_arc("t1", "p0")
+    return net
+
+
+def choice_net():
+    """One marked place feeding two transitions (free choice)."""
+    net = PetriNet("choice")
+    net.add_place("p", tokens=1)
+    net.add_transition("a")
+    net.add_transition("b")
+    net.add_arc("p", "a")
+    net.add_arc("p", "b")
+    return net
+
+
+class TestStructure:
+    def test_ring_is_marked_graph(self):
+        assert is_marked_graph(ring())
+
+    def test_choice_is_not_marked_graph(self):
+        assert not is_marked_graph(choice_net())
+
+    def test_ring_is_state_machine(self):
+        assert is_state_machine(ring())
+
+    def test_choice_is_free_choice(self):
+        assert is_free_choice(choice_net())
+
+    def test_non_free_choice(self):
+        net = choice_net()
+        net.add_place("q", tokens=1)
+        net.add_arc("q", "a")  # a has preset {p, q}, b has {p}: not FC
+        assert not is_free_choice(net)
+
+    def test_lr_expansion_is_not_marked_graph(self):
+        # interface-constraint places fan out to single transitions, but the
+        # rtz/rdy places of the RTZ structure keep it a marked graph here;
+        # the q-module chain definitely is one.
+        assert is_marked_graph(q_module_stg().net)
+
+    def test_fig1_is_marked_graph(self):
+        assert is_marked_graph(fig1_stg().net)
+
+
+class TestBehaviour:
+    def test_ring_is_safe(self):
+        assert is_safe(ring())
+
+    def test_two_tokens_not_safe(self):
+        assert not is_safe(ring(tokens=2))
+        assert bound(ring(tokens=2)) == 2
+
+    def test_deadlock_detection(self):
+        net = PetriNet()
+        net.add_place("p", tokens=1)
+        net.add_transition("t")
+        net.add_arc("p", "t")  # t consumes and never returns the token
+        assert not is_deadlock_free(net)
+        assert deadlock_markings(net) == [(0,)]
+
+    def test_ring_deadlock_free(self):
+        assert is_deadlock_free(ring())
+
+    def test_live_and_dead_transitions(self):
+        net = ring()
+        net.add_place("never")
+        net.add_transition("stuck")
+        net.add_arc("never", "stuck")
+        assert live_transitions(net) == {"t0", "t1"}
+        assert dead_transitions(net) == {"stuck"}
+
+    def test_isolated_places(self):
+        net = ring()
+        net.add_place("island")
+        assert isolated_places(net) == {"island"}
+
+    def test_redundant_place_detected(self):
+        net = ring()
+        # A place marked with plenty of tokens that never constrains t0.
+        net.add_place("slack", tokens=5)
+        net.add_arc("slack", "t0")
+        net.add_arc("t0", "slack")
+        assert "slack" in redundant_places(net)
+        assert "p0" not in redundant_places(net)
+
+    def test_strongly_connected(self):
+        assert strongly_connected(ring())
+        net = ring()
+        net.add_place("tail")
+        net.add_transition("out")
+        net.add_arc("p0", "out")
+        net.add_arc("out", "tail")
+        assert not strongly_connected(net)
+
+    def test_benchmarks_are_safe_and_live(self):
+        for stg in (fig1_stg(), q_module_stg(), lr_expanded()):
+            assert is_safe(stg.net), stg.name
+            assert is_deadlock_free(stg.net), stg.name
+            assert not dead_transitions(stg.net), stg.name

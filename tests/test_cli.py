@@ -1,0 +1,83 @@
+"""Unit tests for the command-line interface (repro.cli)."""
+
+import pytest
+
+from repro.cli import main
+from repro.petri.parser import read_stg, save_stg
+from repro.sg.generator import generate_sg
+from repro.specs.fig1 import fig1_stg
+from repro.specs.lr import lr_expanded, q_module_stg
+
+
+@pytest.fixture
+def lr_file(tmp_path):
+    path = tmp_path / "lr.g"
+    save_stg(lr_expanded(), str(path))
+    return str(path)
+
+
+@pytest.fixture
+def fig1_file(tmp_path):
+    path = tmp_path / "fig1.g"
+    save_stg(fig1_stg(), str(path))
+    return str(path)
+
+
+class TestCheck:
+    def test_clean_spec_exits_zero(self, tmp_path, capsys):
+        path = tmp_path / "q.g"
+        save_stg(q_module_stg(), str(path))
+        # q-module has a CSC conflict -> non-zero
+        assert main(["check", str(path)]) == 1
+        out = capsys.readouterr().out
+        assert "consistent" in out and "True" in out
+
+    def test_irresolvable_note(self, fig1_file, capsys):
+        assert main(["check", fig1_file]) == 1
+        assert "input events" in capsys.readouterr().out
+
+
+class TestSg:
+    def test_sg_listing(self, fig1_file, capsys):
+        assert main(["sg", fig1_file]) == 0
+        out = capsys.readouterr().out
+        assert "5 states" in out
+
+    def test_sg_dot(self, fig1_file, capsys):
+        assert main(["sg", fig1_file, "--dot"]) == 0
+        assert "digraph" in capsys.readouterr().out
+
+
+class TestSynth:
+    def test_full_reduction_synth(self, lr_file, capsys):
+        assert main(["synth", lr_file, "--full"]) == 0
+        out = capsys.readouterr().out
+        assert "lo = ri" in out
+        assert "area: 0" in out
+
+    def test_no_reduce_synth(self, lr_file, capsys):
+        assert main(["synth", lr_file, "--no-reduce"]) == 0
+        out = capsys.readouterr().out
+        assert "CSC signals inserted: 2" in out
+
+    def test_keep_option(self, lr_file, capsys):
+        assert main(["synth", lr_file, "--full", "--keep", "li-,ri-"]) == 0
+        assert "area" in capsys.readouterr().out
+
+    def test_bad_keep_rejected(self, lr_file):
+        with pytest.raises(SystemExit):
+            main(["synth", lr_file, "--keep", "li-"])
+
+
+class TestReduce:
+    def test_reduce_roundtrip(self, lr_file, tmp_path, capsys):
+        out_path = tmp_path / "reduced.g"
+        assert main(["reduce", lr_file, "--full", "-o", str(out_path)]) == 0
+        reduced = read_stg(str(out_path))
+        sg = generate_sg(reduced)
+        assert len(sg) == 8  # the fully sequential LR cycle
+
+    def test_reduce_to_stdout(self, lr_file, capsys):
+        assert main(["reduce", lr_file, "--full"]) == 0
+        out = capsys.readouterr().out
+        assert ".model" in out and ".end" in out

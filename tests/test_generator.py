@@ -1,0 +1,147 @@
+"""Unit tests for SG generation and code assignment (repro.sg.generator)."""
+
+import pytest
+
+from repro.petri.stg import STG, SignalKind
+from repro.sg.generator import ConsistencyError, generate_sg
+from repro.sg.graph import StateGraphError
+from repro.sg.properties import is_consistent
+from repro.specs.fig1 import fig1_stg
+
+
+def simple_cycle(events, marked_arc, inputs=(), name="c"):
+    stg = STG(name)
+    signals = sorted({e.split("/")[0][:-1] for e in events})
+    for signal in signals:
+        kind = SignalKind.INPUT if signal in inputs else SignalKind.OUTPUT
+        stg.declare_signal(signal, kind)
+    for event in events:
+        stg.add_event(event)
+    stg.cycle(*events)
+    stg.mark(marked_arc)
+    return stg
+
+
+class TestGeneration:
+    def test_fig1_states_and_codes(self):
+        sg = generate_sg(fig1_stg())
+        assert len(sg) == 5
+        assert sg.signals == ["Req", "Ack"]
+        codes = sorted(sg.codes.values())
+        assert codes == [(0, 0), (0, 1), (1, 0), (1, 1), (1, 1)]
+
+    def test_fig1_initial_state_code(self):
+        sg = generate_sg(fig1_stg())
+        # Initial state of Fig. 1.d is 0*1: Ack = 0 (excited), Req = 1.
+        assert sg.code_of(sg.initial) == (1, 0)
+        assert set(sg.enabled(sg.initial)) == {"Ack+"}
+
+    def test_codes_are_consistent(self):
+        sg = generate_sg(fig1_stg())
+        assert is_consistent(sg)
+
+    def test_simple_cycle(self):
+        stg = simple_cycle(["a+", "b+", "a-", "b-"], "<b-,a+>")
+        sg = generate_sg(stg)
+        assert len(sg) == 4
+        assert sg.code_of(sg.initial) == (0, 0)
+
+    def test_initial_value_inference_from_fall_first(self):
+        # Cycle starting with a falling transition forces a = 1 initially.
+        stg = simple_cycle(["a-", "b+", "a+", "b-"], "<b-,a->")
+        sg = generate_sg(stg)
+        assert sg.value_of(sg.initial, "a") == 1
+
+    def test_declared_initial_value_conflict_detected(self):
+        stg = simple_cycle(["a-", "b+", "a+", "b-"], "<b-,a->")
+        stg.set_initial_value("a", 0)  # contradicts a- being first
+        with pytest.raises(ConsistencyError):
+            generate_sg(stg)
+
+    def test_inconsistent_stg_rejected(self):
+        # a+ twice in a row with no a- between: no consistent encoding.
+        stg = STG("bad")
+        stg.declare_signal("a", SignalKind.OUTPUT)
+        stg.add_event("a+")
+        stg.add_fresh_event("a+")
+        stg.cycle("a+", "a+/1")
+        stg.mark("<a+/1,a+>")
+        with pytest.raises(ConsistencyError):
+            generate_sg(stg)
+
+    def test_toggle_self_loop_unfolds(self):
+        # 2-phase semantics: one marking, but two binary states (a=0, a=1).
+        stg = STG("toggle2")
+        stg.declare_signal("a", SignalKind.OUTPUT)
+        stg.add_event("a~")
+        stg.net.add_place("p", tokens=1)
+        stg.net.add_arc("p", "a~")
+        stg.net.add_arc("a~", "p")
+        sg = generate_sg(stg)
+        assert len(sg) == 2
+        assert {sg.code_of(s) for s in sg.states} == {(0,), (1,)}
+
+    def test_toggle_cycle_unfolds_to_four_phases(self):
+        stg = STG("toggle3")
+        stg.declare_signal("a", SignalKind.OUTPUT)
+        stg.declare_signal("b", SignalKind.OUTPUT)
+        stg.add_event("a~")
+        stg.add_event("b~")
+        stg.cycle("a~", "b~")
+        stg.mark("<b~,a~>")
+        sg = generate_sg(stg)
+        # two markings x two parity phases
+        assert len(sg) == 4
+        a_index = sg.signal_index("a")
+        values = {sg.code_of(s)[a_index] for s in sg.states}
+        assert values == {0, 1}
+
+    def test_mixed_toggle_and_rise_consistency_checked(self):
+        stg = STG("mixed")
+        stg.declare_signal("a", SignalKind.OUTPUT)
+        stg.declare_signal("b", SignalKind.OUTPUT)
+        stg.add_event("a~")
+        stg.add_event("b+")
+        stg.cycle("a~", "b+")  # b+ fires twice without b-: inconsistent
+        stg.mark("<b+,a~>")
+        with pytest.raises(ConsistencyError):
+            generate_sg(stg)
+
+    def test_dummy_rejected(self):
+        stg = STG("dummy")
+        stg.declare_signal("a", SignalKind.OUTPUT)
+        stg.add_event("a+")
+        stg.add_dummy("eps")
+        stg.cycle("a+", "eps")
+        stg.mark("<eps,a+>")
+        with pytest.raises(StateGraphError):
+            generate_sg(stg)
+
+    def test_state_limit(self):
+        stg = simple_cycle(["a+", "b+", "a-", "b-"], "<b-,a+>")
+        with pytest.raises(StateGraphError):
+            generate_sg(stg, limit=2)
+
+    def test_unused_signal_gets_declared_value(self):
+        stg = simple_cycle(["a+", "b+", "a-", "b-"], "<b-,a+>")
+        stg.declare_signal("idle", SignalKind.INPUT)
+        stg.set_initial_value("idle", 1)
+        sg = generate_sg(stg)
+        assert all(sg.value_of(s, "idle") == 1 for s in sg.states)
+
+    def test_arc_labels_are_transition_names(self):
+        sg = generate_sg(fig1_stg())
+        assert set(sg.events) == {"Req+", "Req-", "Ack+", "Ack-"}
+
+    def test_concurrent_events_make_diamond(self):
+        stg = STG("conc")
+        stg.declare_signal("a", SignalKind.OUTPUT)
+        stg.declare_signal("b", SignalKind.OUTPUT)
+        for e in ("a+", "b+", "a-", "b-"):
+            stg.add_event(e)
+        # a and b handshakes fully independent
+        stg.cycle("a+", "a-")
+        stg.cycle("b+", "b-")
+        stg.mark("<a-,a+>", "<b-,b+>")
+        sg = generate_sg(stg)
+        assert len(sg) == 4

@@ -1,0 +1,169 @@
+"""Unit and property tests for logic minimization (repro.logic.minimize)."""
+
+from itertools import product
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.logic.cube import Cube, Cover
+from repro.logic.minimize import (MinimizationError, complement_minterms,
+                                  minimize, minimize_fast, prime_implicants,
+                                  verify_cover)
+
+
+def all_minterms(n):
+    return list(product((0, 1), repeat=n))
+
+
+class TestPrimeImplicants:
+    def test_single_minterm(self):
+        primes = prime_implicants(2, [(1, 1)])
+        assert primes == [Cube.parse("11")]
+
+    def test_pair_merges(self):
+        primes = prime_implicants(2, [(0, 0), (0, 1)])
+        assert primes == [Cube.parse("0-")]
+
+    def test_xor_has_no_merges(self):
+        primes = prime_implicants(2, [(0, 1), (1, 0)])
+        assert sorted(str(p) for p in primes) == ["01", "10"]
+
+    def test_full_function(self):
+        primes = prime_implicants(2, all_minterms(2))
+        assert primes == [Cube.full(2)]
+
+    def test_dc_enables_merging(self):
+        primes = prime_implicants(2, [(1, 1)], dc=[(1, 0)])
+        assert Cube.parse("1-") in primes
+
+    def test_classic_4var_example(self):
+        # f = sum m(4,8,10,11,12,15), dc(9,14): standard textbook QM case.
+        def bits(x):
+            return tuple(int(b) for b in f"{x:04b}")
+        on = [bits(m) for m in (4, 8, 10, 11, 12, 15)]
+        dc = [bits(m) for m in (9, 14)]
+        primes = {str(p) for p in prime_implicants(4, on, dc)}
+        assert "1-1-" in primes  # the textbook prime AC (bit order MSB first)
+
+    def test_bad_minterm_rejected(self):
+        with pytest.raises(MinimizationError):
+            prime_implicants(2, [(0, 2)])
+
+
+class TestMinimize:
+    def test_constants(self):
+        assert minimize(2, []).is_constant_zero
+        assert minimize(2, all_minterms(2)).is_constant_one
+
+    def test_dc_fills_to_constant_one(self):
+        cover = minimize(2, [(0, 0)], dc=[(0, 1), (1, 0), (1, 1)])
+        assert cover.is_constant_one
+
+    def test_single_literal_found(self):
+        on = [m for m in all_minterms(3) if m[1] == 1]
+        cover = minimize(3, on)
+        assert cover.single_literal() == (1, 1)
+        assert cover.literal_count == 1
+
+    def test_wire_through_dc(self):
+        # ON = {10}, OFF = {01}, rest DC: minimizes to a single literal.
+        cover = minimize(2, [(1, 0)], dc=[(0, 0), (1, 1)])
+        assert cover.literal_count == 1
+
+    def test_xor_needs_four_literals(self):
+        cover = minimize(2, [(0, 1), (1, 0)], exact=True)
+        assert cover.literal_count == 4
+        assert cover.cube_count == 2
+
+    def test_majority(self):
+        on = [m for m in all_minterms(3) if sum(m) >= 2]
+        cover = minimize(3, on, exact=True)
+        assert cover.literal_count == 6
+        assert cover.cube_count == 3
+
+    def test_exact_not_worse_than_greedy(self):
+        on = [m for m in all_minterms(4) if sum(m) in (1, 3)]
+        greedy = minimize(4, on, exact=False)
+        exact = minimize(4, on, exact=True)
+        assert exact.literal_count <= greedy.literal_count
+
+    def test_on_overlapping_dc_wins(self):
+        cover = minimize(1, [(1,)], dc=[(1,)])
+        assert cover.contains((1,))
+
+
+class TestMinimizeFast:
+    def test_matches_simple_cases(self):
+        on = [m for m in all_minterms(3) if m[0] == 1]
+        cover = minimize_fast(3, on)
+        assert cover.single_literal() == (0, 1)
+
+    def test_valid_on_xor(self):
+        on = [(0, 1), (1, 0)]
+        cover = minimize_fast(2, on)
+        assert verify_cover(cover, on, [(0, 0), (1, 1)])
+
+    def test_constants(self):
+        assert minimize_fast(2, []).is_constant_zero
+        assert minimize_fast(2, all_minterms(2)).is_constant_one
+
+
+@st.composite
+def on_dc_sets(draw, num_vars=4):
+    universe = all_minterms(num_vars)
+    labels = draw(st.lists(st.sampled_from(["on", "dc", "off"]),
+                           min_size=len(universe), max_size=len(universe)))
+    on = [m for m, l in zip(universe, labels) if l == "on"]
+    dc = [m for m, l in zip(universe, labels) if l == "dc"]
+    off = [m for m, l in zip(universe, labels) if l == "off"]
+    return on, dc, off
+
+
+class TestProperties:
+    @given(on_dc_sets())
+    @settings(max_examples=60, deadline=None)
+    def test_minimize_produces_valid_cover(self, sets):
+        on, dc, off = sets
+        cover = minimize(4, on, dc)
+        assert verify_cover(cover, on, off)
+
+    @given(on_dc_sets())
+    @settings(max_examples=60, deadline=None)
+    def test_minimize_fast_produces_valid_cover(self, sets):
+        on, dc, off = sets
+        cover = minimize_fast(4, on, dc)
+        assert verify_cover(cover, on, off)
+
+    @given(on_dc_sets())
+    @settings(max_examples=30, deadline=None)
+    def test_exact_never_beaten_by_greedy(self, sets):
+        on, dc, off = sets
+        exact = minimize(4, on, dc, exact=True)
+        greedy = minimize(4, on, dc, exact=False)
+        assert exact.literal_count <= greedy.literal_count
+
+    @given(on_dc_sets())
+    @settings(max_examples=30, deadline=None)
+    def test_primes_cover_every_on_minterm(self, sets):
+        on, dc, off = sets
+        primes = prime_implicants(4, on, dc)
+        for minterm in on:
+            assert any(p.contains(minterm) for p in primes)
+
+    @given(on_dc_sets())
+    @settings(max_examples=30, deadline=None)
+    def test_primes_avoid_off_minterms(self, sets):
+        on, dc, off = sets
+        for prime in prime_implicants(4, on, dc):
+            assert not any(prime.contains(m) for m in off)
+
+
+class TestComplement:
+    def test_complement(self):
+        on = {(0, 0)}
+        dc = {(1, 1)}
+        assert complement_minterms(2, on, dc) == {(0, 1), (1, 0)}
+
+    def test_complement_empty(self):
+        assert complement_minterms(1, {(0,), (1,)}, set()) == set()

@@ -1,0 +1,154 @@
+"""Unit tests for the .g format reader/writer (repro.petri.parser)."""
+
+import pytest
+
+from repro.petri.parser import ParseError, parse_stg, read_stg, save_stg, write_stg
+from repro.petri.stg import SignalKind
+from repro.sg.generator import generate_sg
+from repro.specs.fig1 import fig1_stg
+from repro.specs.lr import lr_expanded, q_module_stg
+
+SIMPLE = """
+.model demo
+.inputs req
+.outputs ack
+.graph
+req+ ack+
+ack+ req-
+req- ack-
+ack- req+
+.marking { <ack-,req+> }
+.initial_state !req !ack
+.end
+"""
+
+
+class TestParse:
+    def test_basic(self):
+        stg = parse_stg(SIMPLE)
+        assert stg.name == "demo"
+        assert stg.signals == {"req": SignalKind.INPUT, "ack": SignalKind.OUTPUT}
+        assert set(stg.net.transition_names) == {"req+", "ack+", "req-", "ack-"}
+        assert stg.initial_values == {"req": 0, "ack": 0}
+
+    def test_marking_on_implicit_place(self):
+        stg = parse_stg(SIMPLE)
+        marked = stg.net.marking_dict(stg.net.initial_marking())
+        assert marked == {"<ack-,req+>": 1}
+
+    def test_explicit_places(self):
+        text = """
+.model p
+.inputs a
+.outputs b
+.graph
+p0 a+
+a+ b+
+b+ p0
+.marking { p0 }
+.end
+"""
+        stg = parse_stg(text)
+        assert stg.net.has_place("p0")
+        assert not stg.net.place("p0").auto
+
+    def test_comments_and_blank_lines(self):
+        text = SIMPLE.replace(".graph", ".graph\n# a comment\n\n")
+        assert parse_stg(text).name == "demo"
+
+    def test_instance_suffixes(self):
+        text = """
+.model i
+.outputs a
+.graph
+a+ a-
+a- a+/1
+a+/1 a-/1
+a-/1 a+
+.marking { <a-/1,a+> }
+.end
+"""
+        stg = parse_stg(text)
+        assert set(stg.transitions_of_event("a+")) == {"a+", "a+/1"}
+
+    def test_dummy_declaration(self):
+        text = """
+.model d
+.outputs b
+.dummy eps
+.graph
+eps b+
+b+ eps
+.marking { <b+,eps> }
+.end
+"""
+        stg = parse_stg(text)
+        assert stg.event_of("eps") is None
+
+    def test_undeclared_signal_rejected(self):
+        text = ".model x\n.graph\nfoo+ bar+\n.end\n"
+        with pytest.raises(ParseError):
+            parse_stg(text)
+
+    def test_unknown_directive_rejected(self):
+        with pytest.raises(ParseError):
+            parse_stg(".model x\n.bogus y\n.end\n")
+
+    def test_marking_unknown_place_rejected(self):
+        text = ".model x\n.outputs a\n.graph\na+ a-\na- a+\n.marking { zz }\n.end\n"
+        with pytest.raises(ParseError):
+            parse_stg(text)
+
+    def test_content_outside_graph_rejected(self):
+        with pytest.raises(ParseError):
+            parse_stg(".model x\nstray line\n.end\n")
+
+    def test_weighted_marking(self):
+        text = """
+.model w
+.outputs a
+.graph
+p0 a+
+a+ p0
+.marking { p0=2 }
+.end
+"""
+        stg = parse_stg(text)
+        assert stg.net.marking_dict(stg.net.initial_marking()) == {"p0": 2}
+
+    def test_end_stops_parsing(self):
+        stg = parse_stg(SIMPLE + "\ngarbage after end\n")
+        assert stg.name == "demo"
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("make", [fig1_stg, q_module_stg, lr_expanded])
+    def test_roundtrip_preserves_behaviour(self, make):
+        original = make()
+        rebuilt = parse_stg(write_stg(original))
+        assert rebuilt.signals == original.signals
+        sg_a = generate_sg(original)
+        sg_b = generate_sg(rebuilt)
+        assert len(sg_a) == len(sg_b)
+        assert sg_a.arc_count() == sg_b.arc_count()
+        assert sorted(map(str, sg_a.events.values())) == \
+            sorted(map(str, sg_b.events.values()))
+
+    def test_roundtrip_codes_match(self):
+        original = fig1_stg()
+        rebuilt = parse_stg(write_stg(original))
+        sg_a, sg_b = generate_sg(original), generate_sg(rebuilt)
+        assert sorted(sg_a.codes.values()) == sorted(sg_b.codes.values())
+
+    def test_file_io(self, tmp_path):
+        path = tmp_path / "demo.g"
+        save_stg(fig1_stg(), str(path))
+        loaded = read_stg(str(path))
+        assert loaded.name == "fig1_controller"
+        assert len(generate_sg(loaded)) == 5
+
+    def test_write_contains_sections(self):
+        text = write_stg(fig1_stg())
+        for token in (".model", ".inputs Req", ".outputs Ack", ".graph",
+                      ".marking", ".initial_state", ".end"):
+            assert token in text

@@ -1,0 +1,172 @@
+"""Unit tests for the state graph container (repro.sg.graph)."""
+
+import pytest
+
+from repro.petri.stg import Direction, SignalEvent, SignalKind
+from repro.sg.graph import StateGraph, StateGraphError
+
+
+@pytest.fixture
+def diamond():
+    """a and b concurrent from s0: the four-state diamond."""
+    sg = StateGraph("diamond")
+    sg.declare_signal("a", SignalKind.OUTPUT)
+    sg.declare_signal("b", SignalKind.INPUT)
+    sg.declare_event("a+")
+    sg.declare_event("b+")
+    sg.add_state("s0", (0, 0))
+    sg.add_state("s1", (1, 0))
+    sg.add_state("s2", (0, 1))
+    sg.add_state("s3", (1, 1))
+    sg.add_arc("s0", "a+", "s1")
+    sg.add_arc("s0", "b+", "s2")
+    sg.add_arc("s1", "b+", "s3")
+    sg.add_arc("s2", "a+", "s3")
+    return sg
+
+
+class TestConstruction:
+    def test_declare_event_parses_label(self, diamond):
+        assert diamond.events["a+"] == SignalEvent("a", Direction.RISE)
+
+    def test_declare_event_undeclared_signal(self):
+        sg = StateGraph()
+        with pytest.raises(StateGraphError):
+            sg.declare_event("x+")
+
+    def test_declare_event_explicit(self):
+        sg = StateGraph()
+        sg.declare_signal("a", SignalKind.OUTPUT)
+        sg.declare_event("first_a", SignalEvent("a", Direction.RISE))
+        assert sg.events["first_a"].signal == "a"
+
+    def test_redeclare_event_conflict(self, diamond):
+        with pytest.raises(StateGraphError):
+            diamond.declare_event("a+", SignalEvent("b", Direction.RISE))
+
+    def test_undeclared_arc_label_rejected(self, diamond):
+        with pytest.raises(StateGraphError):
+            diamond.add_arc("s0", "zz", "s1")
+
+    def test_first_state_is_initial(self):
+        sg = StateGraph()
+        sg.add_state("x")
+        assert sg.initial == "x"
+
+    def test_nondeterminism_rejected(self, diamond):
+        with pytest.raises(StateGraphError):
+            diamond.add_arc("s0", "a+", "s3")
+
+    def test_duplicate_arc_tolerated(self, diamond):
+        diamond.add_arc("s0", "a+", "s1")  # same target: fine
+        assert diamond.arc_count() == 4
+
+    def test_code_length_checked(self, diamond):
+        with pytest.raises(StateGraphError):
+            diamond.add_state("bad", (0, 1, 0))
+
+
+class TestQueries:
+    def test_successors_and_predecessors(self, diamond):
+        assert diamond.successors("s0") == {"a+": "s1", "b+": "s2"}
+        assert diamond.predecessors("s3") == {("b+", "s1"), ("a+", "s2")}
+
+    def test_enabled_and_target(self, diamond):
+        assert set(diamond.enabled("s0")) == {"a+", "b+"}
+        assert diamond.target("s0", "a+") == "s1"
+        assert diamond.target("s3", "a+") is None
+
+    def test_arcs_iteration(self, diamond):
+        assert len(list(diamond.arcs())) == 4
+
+    def test_labels_of_signal(self, diamond):
+        assert diamond.labels_of_signal("a") == ["a+"]
+
+    def test_is_input_label(self, diamond):
+        assert diamond.is_input_label("b+")
+        assert not diamond.is_input_label("a+")
+
+    def test_codes(self, diamond):
+        assert diamond.code_of("s3") == (1, 1)
+        assert diamond.value_of("s1", "a") == 1
+        with pytest.raises(StateGraphError):
+            diamond.value_of("s1", "zz")
+
+    def test_code_of_missing(self, diamond):
+        diamond.add_state("nocode")
+        with pytest.raises(StateGraphError):
+            diamond.code_of("nocode")
+
+    def test_code_string_marks_excited(self, diamond):
+        assert diamond.code_string("s0") == "0*0*"
+        assert diamond.code_string("s3") == "11"
+
+    def test_len_and_contains(self, diamond):
+        assert len(diamond) == 4
+        assert "s0" in diamond
+        assert "zz" not in diamond
+
+
+class TestReachability:
+    def test_reachable_from_initial(self, diamond):
+        assert diamond.reachable_from() == {"s0", "s1", "s2", "s3"}
+
+    def test_reachable_from_state(self, diamond):
+        assert diamond.reachable_from("s1") == {"s1", "s3"}
+
+    def test_backward_reachable(self, diamond):
+        assert diamond.backward_reachable(["s3"]) == {"s0", "s1", "s2", "s3"}
+
+    def test_backward_reachable_within(self, diamond):
+        within = {"s1", "s3"}
+        assert diamond.backward_reachable(["s3"], within=within) == {"s1", "s3"}
+
+    def test_backward_reachable_target_outside_within(self, diamond):
+        assert diamond.backward_reachable(["s3"], within={"s0"}) == set()
+
+    def test_restrict_to_reachable(self, diamond):
+        diamond.add_state("orphan", (0, 0))
+        removed = diamond.restrict_to_reachable()
+        assert removed == 1
+        assert "orphan" not in diamond
+
+
+class TestMutation:
+    def test_remove_arc(self, diamond):
+        diamond.remove_arc("s0", "a+")
+        assert diamond.target("s0", "a+") is None
+        assert ("a+", "s0") not in diamond.predecessors("s1")
+
+    def test_remove_missing_arc(self, diamond):
+        with pytest.raises(StateGraphError):
+            diamond.remove_arc("s3", "a+")
+
+    def test_remove_state(self, diamond):
+        diamond.remove_state("s1")
+        assert "s1" not in diamond
+        assert diamond.target("s0", "a+") is None
+        assert ("b+", "s1") not in diamond.predecessors("s3")
+
+    def test_remove_initial_state_clears_initial(self, diamond):
+        diamond.remove_state("s0")
+        assert diamond.initial is None
+
+    def test_copy_is_independent(self, diamond):
+        clone = diamond.copy()
+        clone.remove_arc("s0", "a+")
+        assert diamond.target("s0", "a+") == "s1"
+
+    def test_copy_preserves_everything(self, diamond):
+        clone = diamond.copy("c")
+        assert clone.name == "c"
+        assert clone.codes == diamond.codes
+        assert set(clone.arcs()) == set(diamond.arcs())
+        assert clone.initial == diamond.initial
+
+
+class TestDot:
+    def test_dot_output(self, diamond):
+        dot = diamond.to_dot()
+        assert "digraph" in dot
+        assert '"a+"' in dot
+        assert dot.count("->") == 4
