@@ -74,8 +74,10 @@ def insert_state_signal(sg: StateGraph, rise_trigger: str, fall_trigger: str,
     rise_label, fall_label = f"{signal}+", f"{signal}-"
 
     # Extended states: (original state, csc value, pending csc transition).
+    codes = sg.codes
+    succ = sg._succ
     initial = (sg.initial, initial_value, None)
-    new.add_state(initial, sg.code_of(sg.initial) + (initial_value,))
+    new.add_state(initial, codes[sg.initial] + (initial_value,))
     new.initial = initial
     queue = deque([initial])
     seen: Set[Tuple] = {initial}
@@ -88,7 +90,7 @@ def insert_state_signal(sg: StateGraph, rise_trigger: str, fall_trigger: str,
         def push(target: Tuple, label: str) -> None:
             if target not in seen:
                 seen.add(target)
-                new.add_state(target, sg.code_of(target[0]) + (target[1],))
+                new.add_state(target, codes[target[0]] + (target[1],))
                 queue.append(target)
             new.add_arc(state, label, target)
 
@@ -97,7 +99,7 @@ def insert_state_signal(sg: StateGraph, rise_trigger: str, fall_trigger: str,
         elif pending == "-":
             push((orig, 0, None), fall_label)
 
-        for label, target in sg.successors(orig).items():
+        for label, target in succ[orig].items():
             if label == rise_trigger:
                 # x waits for the previous csc handshake to complete.
                 if value != 0 or pending is not None:
@@ -139,8 +141,11 @@ def insert_state_signal_sequencing(sg: StateGraph, rise_after: str,
 
     new = _prepare_extended(sg, signal)
     rise_label, fall_label = f"{signal}+", f"{signal}-"
+    codes = sg.codes
+    succ = sg._succ
+    is_input = {label: sg.is_input_label(label) for label in sg.events}
     initial = (sg.initial, initial_value, None)
-    new.add_state(initial, sg.code_of(sg.initial) + (initial_value,))
+    new.add_state(initial, codes[sg.initial] + (initial_value,))
     new.initial = initial
     queue = deque([initial])
     seen: Set[Tuple] = {initial}
@@ -153,7 +158,7 @@ def insert_state_signal_sequencing(sg: StateGraph, rise_after: str,
         def push(target: Tuple, label: str) -> None:
             if target not in seen:
                 seen.add(target)
-                new.add_state(target, sg.code_of(target[0]) + (target[1],))
+                new.add_state(target, codes[target[0]] + (target[1],))
                 queue.append(target)
             new.add_arc(state, label, target)
 
@@ -162,9 +167,9 @@ def insert_state_signal_sequencing(sg: StateGraph, rise_after: str,
         elif pending == "-":
             push((orig, 0, None), fall_label)
 
-        for label, target in sg.successors(orig).items():
+        for label, target in succ[orig].items():
             if pending is not None:
-                if not sg.is_input_label(label):
+                if not is_input[label]:
                     continue  # non-inputs wait for the csc transition
                 if label in (rise_after, fall_after):
                     return None  # an input trigger overtook the csc event
@@ -204,11 +209,13 @@ def _prepare_extended(sg: StateGraph, signal: str) -> StateGraph:
 def _feasible(sg: StateGraph, new: StateGraph, rise_label: str,
               fall_label: str) -> bool:
     """No new deadlocks, no lost events, both csc transitions fire."""
-    for state in new.states:
-        if not new.enabled(state) and sg.enabled(state[0]):
+    original_succ = sg._succ
+    reached_labels: Set[str] = set()
+    for state, out in new._succ.items():
+        if not out and original_succ[state[0]]:
             return False
-    reached_labels = {label for _, label, _ in new.arcs()}
-    original_labels = {label for _, label, _ in sg.arcs()}
+        reached_labels.update(out)
+    original_labels = {label for out in original_succ.values() for label in out}
     if not original_labels <= reached_labels:
         return False
     return rise_label in reached_labels and fall_label in reached_labels
@@ -226,7 +233,8 @@ def enumerate_insertions(sg: StateGraph, signal: str,
     baseline_conflicts = conflict_count(sg)
     if baseline_conflicts == 0:
         return []
-    live = [label for label in sorted(sg.events) if excitation_nonempty(sg, label)]
+    live_labels = {label for out in sg._succ.values() for label in out}
+    live = [label for label in sorted(sg.events) if label in live_labels]
     non_input = [label for label in live if not sg.is_input_label(label)]
     baseline_violations = {(v.disabled, v.by) for v in persistency_violations(sg)}
     found: List[Tuple[Tuple, InsertionChoice, StateGraph]] = []
@@ -274,7 +282,7 @@ def find_insertion(sg: StateGraph, signal: str,
 
 
 def excitation_nonempty(sg: StateGraph, label: str) -> bool:
-    return any(sg.target(state, label) is not None for state in sg.states)
+    return any(label in out for out in sg._succ.values())
 
 
 @dataclass

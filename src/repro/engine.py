@@ -1,0 +1,42 @@
+"""Global switches for the packed-bitvector engine.
+
+The hot exploration loop leans on memo tables keyed by packed integer
+minterm sets (see :mod:`repro.logic.minimize` and
+:mod:`repro.logic.complexity`).  Pure caches must never change results, so
+the scaling benchmark runs the same workload with the caches enabled and
+disabled and asserts byte-identical synthesis outputs; this module is the
+single point of control for that ablation.
+
+Caches register themselves here so that disabling the engine also clears
+them (a stale entry surviving a toggle would defeat the comparison).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+_packed_memo_enabled = True
+_registered_caches: List[Dict] = []
+
+
+def register_cache(cache: Dict) -> Dict:
+    """Register a memo dict so toggling the engine clears it; returns it."""
+    _registered_caches.append(cache)
+    return cache
+
+
+def packed_memo_enabled() -> bool:
+    return _packed_memo_enabled
+
+
+def set_packed_memo(enabled: bool) -> None:
+    """Enable or disable every registered memo table (clearing them all)."""
+    global _packed_memo_enabled
+    _packed_memo_enabled = bool(enabled)
+    clear_caches()
+
+
+def clear_caches() -> None:
+    """Drop all memoized results (used between benchmark phases)."""
+    for cache in _registered_caches:
+        cache.clear()

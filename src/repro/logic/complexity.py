@@ -12,6 +12,11 @@ paper's observations:
 The estimate is the total SOP literal count over all non-input signals, with
 conflicting codes treated optimistically plus a fixed per-conflict penalty
 that stands in for the state signals that will have to be inserted.
+
+The fast path never leaves the packed-integer representation: extraction
+yields int minterm sets, and the literal count comes from the memoized fast
+minimizer (:func:`repro.logic.minimize.fast_literal_count`), so sibling SGs
+in the exploration sharing a signal's (ON, DC) sets hit the cache.
 """
 
 from __future__ import annotations
@@ -19,8 +24,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional
 
+from .. import engine
 from ..sg.graph import StateGraph
 from .functions import extract_all_functions
+from .minimize import fast_literal_count
 
 #: Literal-equivalent penalty for each state code involved in a CSC conflict.
 CSC_CODE_PENALTY = 4
@@ -39,21 +46,24 @@ class ComplexityEstimate:
         return self.literals + CSC_CODE_PENALTY * self.csc_conflict_codes
 
 
-#: Memo for per-function literal counts; reductions of unrelated events often
-#: leave a signal's (ON, DC) pair untouched, so hits are common inside the
-#: exploration loop.
-_LITERAL_CACHE: Dict[tuple, int] = {}
+#: Memo for per-function QM literal counts (the fast path memoizes inside
+#: the minimizer itself); reductions of unrelated events often leave a
+#: signal's (ON, DC) pair untouched, so hits are common.
+_LITERAL_CACHE: Dict[tuple, int] = engine.register_cache({})
 
 
 def _cached_literals(function, fast: bool) -> int:
-    key = (function.num_vars, frozenset(function.on | function.conflicts),
-           frozenset(function.dc), fast)
-    cached = _LITERAL_CACHE.get(key)
+    on_ints, dc_ints = function.resolved_ints("on")
+    if fast:
+        return fast_literal_count(function.num_vars, on_ints, dc_ints)
+    key = (function.num_vars, on_ints, dc_ints)
+    cached = _LITERAL_CACHE.get(key) if engine.packed_memo_enabled() else None
     if cached is None:
-        cached = function.minimized(conflict_policy="on", fast=fast).literal_count
-        if len(_LITERAL_CACHE) > 100_000:
-            _LITERAL_CACHE.clear()
-        _LITERAL_CACHE[key] = cached
+        cached = function.minimized(conflict_policy="on", fast=False).literal_count
+        if engine.packed_memo_enabled():
+            if len(_LITERAL_CACHE) > 100_000:
+                _LITERAL_CACHE.clear()
+            _LITERAL_CACHE[key] = cached
     return cached
 
 
@@ -72,7 +82,7 @@ def estimate_logic_complexity(sg: StateGraph, exact: bool = False,
         else:
             cover = function.minimized(exact=exact, conflict_policy="on")
             per_signal[signal] = cover.literal_count
-        conflict_codes += len(function.conflicts)
+        conflict_codes += len(function.conflict_ints)
     return ComplexityEstimate(
         literals=sum(per_signal.values()),
         csc_conflict_codes=conflict_codes,

@@ -9,39 +9,90 @@ for that signal; the extractor reports them instead of silently producing an
 unimplementable cover.  Unreachable codes form the don't-care set exploited
 by minimization (this is exactly how concurrency reduction helps logic:
 fewer reachable states, larger DC set).
+
+Extraction runs on packed integer codes (bit i = signal i, shared with
+:meth:`repro.sg.graph.StateGraph.code_int` and the fast minimizer); the
+tuple-minterm views ``on``/``off``/``dc``/``conflicts`` are materialized
+lazily for the synthesis layer and the tests.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from ..petri.stg import Direction, SignalKind
 from ..sg.graph import State, StateGraph
 from .cube import Cover
-from .minimize import complement_minterms, minimize, minimize_fast
+from .minimize import (minimize, minimize_fast_ints, _unpack_cube,
+                       unpack_minterm)
 
 Minterm = Tuple[int, ...]
 
 
-@dataclass
 class NextStateFunction:
-    """ON/OFF/DC characterisation of one signal's next-state function."""
+    """ON/OFF/DC characterisation of one signal's next-state function.
 
-    signal: str
-    variables: List[str]
-    on: Set[Minterm]
-    off: Set[Minterm]
-    dc: Set[Minterm]
-    conflicts: Set[Minterm]
+    The authoritative representation is packed integers (``on_ints`` and
+    friends); the tuple-set views are computed on first access.
+    """
+
+    __slots__ = ("signal", "variables", "on_ints", "off_ints", "dc_ints",
+                 "conflict_ints", "_tuple_views")
+
+    def __init__(self, signal: str, variables: List[str],
+                 on_ints: FrozenSet[int], off_ints: FrozenSet[int],
+                 dc_ints: FrozenSet[int], conflict_ints: FrozenSet[int]) -> None:
+        self.signal = signal
+        self.variables = variables
+        self.on_ints = on_ints
+        self.off_ints = off_ints
+        self.dc_ints = dc_ints
+        self.conflict_ints = conflict_ints
+        self._tuple_views: Dict[str, Set[Minterm]] = {}
+
+    def _view(self, name: str, ints: FrozenSet[int]) -> Set[Minterm]:
+        view = self._tuple_views.get(name)
+        if view is None:
+            n = len(self.variables)
+            view = {unpack_minterm(m, n) for m in ints}
+            self._tuple_views[name] = view
+        return view
+
+    @property
+    def on(self) -> Set[Minterm]:
+        return self._view("on", self.on_ints)
+
+    @property
+    def off(self) -> Set[Minterm]:
+        return self._view("off", self.off_ints)
+
+    @property
+    def dc(self) -> Set[Minterm]:
+        return self._view("dc", self.dc_ints)
+
+    @property
+    def conflicts(self) -> Set[Minterm]:
+        return self._view("conflicts", self.conflict_ints)
 
     @property
     def has_csc_conflict(self) -> bool:
-        return bool(self.conflicts)
+        return bool(self.conflict_ints)
 
     @property
     def num_vars(self) -> int:
         return len(self.variables)
+
+    def resolved_ints(self, conflict_policy: str = "on"
+                      ) -> Tuple[FrozenSet[int], FrozenSet[int]]:
+        """(ON, DC) with conflicting codes folded in per the policy."""
+        if not self.conflict_ints:
+            return self.on_ints, self.dc_ints
+        if conflict_policy == "on":
+            return self.on_ints | self.conflict_ints, self.dc_ints
+        if conflict_policy == "dc":
+            return self.on_ints, self.dc_ints | self.conflict_ints
+        raise ValueError(f"unknown conflict policy {conflict_policy!r}")
 
     def minimized(self, exact: bool = False, conflict_policy: str = "on",
                   fast: bool = False) -> Cover:
@@ -53,18 +104,18 @@ class NextStateFunction:
         ``fast=True`` uses the expand-and-cover heuristic minimizer (for the
         exploration cost function).
         """
-        on = set(self.on)
-        dc = set(self.dc)
-        if self.conflicts:
-            if conflict_policy == "on":
-                on |= self.conflicts
-            elif conflict_policy == "dc":
-                dc |= self.conflicts
-            else:
-                raise ValueError(f"unknown conflict policy {conflict_policy!r}")
+        on_ints, dc_ints = self.resolved_ints(conflict_policy)
+        n = self.num_vars
         if fast:
-            return minimize_fast(self.num_vars, on, dc)
-        return minimize(self.num_vars, on, dc, exact=exact)
+            if not on_ints:
+                return Cover.zero(n)
+            if len(on_ints | dc_ints) == 1 << n:
+                return Cover.one(n)
+            chosen = minimize_fast_ints(n, on_ints, dc_ints - on_ints)
+            return Cover(n, [_unpack_cube(p, n) for p in chosen])
+        on = {unpack_minterm(m, n) for m in on_ints}
+        dc = {unpack_minterm(m, n) for m in dc_ints}
+        return minimize(n, on, dc, exact=exact)
 
 
 def _rising_falling_labels(sg: StateGraph, signal: str) -> Tuple[List[str], List[str]]:
@@ -81,33 +132,75 @@ def _rising_falling_labels(sg: StateGraph, signal: str) -> Tuple[List[str], List
     return rising, falling
 
 
+def _excitation_masks(sg: StateGraph) -> List[Tuple[int, int, int]]:
+    """Per state: (code, rising-signal bitmask, falling-signal bitmask).
+
+    One pass over the compiled adjacency serves the extraction of every
+    signal at once.
+    """
+    compiled = sg.compiled()
+    label_bits_rise = []
+    label_bits_fall = []
+    for lid in range(len(compiled.labels)):
+        direction = compiled.event_direction[lid]
+        bit = 1 << compiled.event_signal[lid]
+        # Toggle labels contribute to neither mask; extraction rejects the
+        # toggled signal itself up front (_rising_falling_labels), and a
+        # toggle on an *input* signal never blocks extracting the others.
+        label_bits_rise.append(bit if direction == Direction.RISE else 0)
+        label_bits_fall.append(bit if direction == Direction.FALL else 0)
+    rows = []
+    for sid, out in enumerate(compiled.succ):
+        code = compiled.code_ints[sid]
+        if code < 0:
+            sg.code_of(compiled.states[sid])  # raises StateGraphError
+        rise = fall = 0
+        for lid in out:
+            rise |= label_bits_rise[lid]
+            fall |= label_bits_fall[lid]
+        rows.append((code, rise, fall))
+    return rows
+
+
+def _extract_from_masks(sg: StateGraph, signal: str,
+                        rows: List[Tuple[int, int, int]]) -> NextStateFunction:
+    bit = 1 << sg.signal_index(signal)
+    on: Set[int] = set()
+    off: Set[int] = set()
+    for code, rise, fall in rows:
+        if rise & bit or (code & bit and not fall & bit):
+            on.add(code)
+        else:
+            off.add(code)
+    conflicts = on & off
+    on -= conflicts
+    off -= conflicts
+    num_vars = len(sg.signals)
+    dc = set(range(1 << num_vars)) - on - off - conflicts
+    return NextStateFunction(signal=signal, variables=list(sg.signals),
+                             on_ints=frozenset(on), off_ints=frozenset(off),
+                             dc_ints=frozenset(dc),
+                             conflict_ints=frozenset(conflicts))
+
+
 def extract_function(sg: StateGraph, signal: str) -> NextStateFunction:
     """Build the next-state function of one non-input signal."""
     if sg.kinds[signal] == SignalKind.INPUT:
         raise ValueError(f"signal {signal!r} is an input; nothing to implement")
-    rising, falling = _rising_falling_labels(sg, signal)
-    index = sg.signal_index(signal)
-    on_codes: Set[Minterm] = set()
-    off_codes: Set[Minterm] = set()
-    for state in sg.states:
-        code = sg.code_of(state)
-        rise_enabled = any(sg.target(state, label) is not None for label in rising)
-        fall_enabled = any(sg.target(state, label) is not None for label in falling)
-        next_value = 1 if (rise_enabled or (code[index] == 1 and not fall_enabled)) else 0
-        (on_codes if next_value else off_codes).add(code)
-    conflicts = on_codes & off_codes
-    on_codes -= conflicts
-    off_codes -= conflicts
-    dc = complement_minterms(len(sg.signals), on_codes | conflicts, off_codes | conflicts)
-    dc -= on_codes | off_codes
-    return NextStateFunction(signal=signal, variables=list(sg.signals),
-                             on=on_codes, off=off_codes, dc=dc, conflicts=conflicts)
+    _rising_falling_labels(sg, signal)  # reject toggle events for this signal
+    return _extract_from_masks(sg, signal, _excitation_masks(sg))
 
 
 def extract_all_functions(sg: StateGraph) -> Dict[str, NextStateFunction]:
     """Next-state functions for every output and internal signal."""
-    return {signal: extract_function(sg, signal) for signal in sg.signals
-            if sg.kinds[signal] in (SignalKind.OUTPUT, SignalKind.INTERNAL)}
+    targets = [signal for signal in sg.signals
+               if sg.kinds[signal] in (SignalKind.OUTPUT, SignalKind.INTERNAL)]
+    if not targets:
+        return {}
+    for signal in targets:
+        _rising_falling_labels(sg, signal)  # reject toggles on implemented signals
+    rows = _excitation_masks(sg)
+    return {signal: _extract_from_masks(sg, signal, rows) for signal in targets}
 
 
 @dataclass
@@ -146,7 +239,8 @@ def extract_set_reset(sg: StateGraph, signal: str,
         else:
             stable_low.add(code)
     reachable = set_on | reset_on | stable_high | stable_low
-    unreachable = complement_minterms(len(sg.signals), reachable, set())
+    unreachable = {unpack_minterm(m, len(sg.signals))
+                   for m in range(1 << len(sg.signals))} - reachable
     # The set network may stay high while the signal is high (the C element
     # holds), but must be low in the reset region and at stable 0; dually for
     # the reset network.  Unreachable codes are free for both.

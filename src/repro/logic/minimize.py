@@ -13,13 +13,18 @@ Two engines behind one API:
 Cubes are packed as ``(mask, value)`` integer pairs internally -- bit i of
 ``mask`` set means variable i is a literal, whose polarity is bit i of
 ``value`` -- and converted to :class:`~repro.logic.cube.Cube` at the API
-boundary.
+boundary.  The fast engine also accepts minterms packed as single integers
+(bit i = variable i, the same convention the state-graph layer uses for
+state codes) via :func:`minimize_fast_ints`, and memoizes covers keyed on
+the packed ON/DC sets so beam-search siblings sharing subproblems do not
+recompute them.
 """
 
 from __future__ import annotations
 
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
+from .. import engine
 from .cube import DC, Cube, Cover
 
 Minterm = Tuple[int, ...]
@@ -46,6 +51,11 @@ def _pack(minterm: Minterm) -> int:
         if bit:
             value |= 1 << i
     return value
+
+
+def unpack_minterm(packed: int, num_vars: int) -> Minterm:
+    """Inverse of packing: integer minterm back to a 0/1 tuple (bit i = var i)."""
+    return tuple((packed >> i) & 1 for i in range(num_vars))
 
 
 def _unpack_cube(packed: PackedCube, num_vars: int) -> Cube:
@@ -86,20 +96,22 @@ def prime_implicants(num_vars: int, on: Iterable[Sequence[int]],
     while current:
         merged: Set[PackedCube] = set()
         used: Set[PackedCube] = set()
-        by_group: Dict[Tuple[int, int], List[PackedCube]] = {}
-        for cube in current:
-            mask, value = cube
-            by_group.setdefault((mask, bin(value).count("1")), []).append(cube)
-        for (mask, ones), group in by_group.items():
-            neighbours = by_group.get((mask, ones + 1), [])
-            for cube in group:
-                value = cube[1]
-                for other in neighbours:
-                    diff = value ^ other[1]
-                    if diff & (diff - 1) == 0:  # single differing bit
-                        merged.add((mask & ~diff, value & ~diff))
-                        used.add(cube)
-                        used.add(other)
+        # Cubes merge when they share a mask and differ in one value bit, so
+        # a per-mask value set turns the pairing into O(cubes x variables)
+        # membership tests instead of scanning group x neighbour-group.
+        by_mask: Dict[int, Set[int]] = {}
+        for mask, value in current:
+            by_mask.setdefault(mask, set()).add(value)
+        for mask, values in by_mask.items():
+            for value in values:
+                bits = mask & ~value
+                while bits:
+                    bit = bits & -bits
+                    bits ^= bit
+                    if value | bit in values:
+                        merged.add((mask & ~bit, value))
+                        used.add((mask, value))
+                        used.add((mask, value | bit))
         primes.update(current - used)
         current = merged
     cubes = [_unpack_cube(p, num_vars) for p in primes]
@@ -108,20 +120,27 @@ def prime_implicants(num_vars: int, on: Iterable[Sequence[int]],
 
 def _essential_and_greedy(primes: List[PackedCube], on_ints: Set[int],
                           num_vars: int) -> List[PackedCube]:
-    """Essential primes first, then greedy largest-coverage selection."""
-    coverage: Dict[int, List[PackedCube]] = {m: [] for m in on_ints}
-    for prime in primes:
-        for minterm in on_ints:
-            if _contains(prime, minterm):
-                coverage[minterm].append(prime)
+    """Essential primes first, then greedy largest-coverage selection.
+
+    ``primes`` must arrive in the deterministic sorted-prime order produced
+    by :func:`prime_implicants`; minterms are processed in sorted order and
+    ``max`` ties resolve to the earliest prime in that order, so the chosen
+    cover is identical across runs.
+    """
+    minterms = sorted(on_ints)
+    coverage: Dict[int, List[PackedCube]] = {
+        m: [p for p in primes if _contains(p, m)] for m in minterms}
     for minterm, covering in coverage.items():
         if not covering:
             raise MinimizationError(f"minterm {minterm:b} not covered by any prime")
     selected: List[PackedCube] = []
-    for minterm, covering in coverage.items():
-        if len(covering) == 1 and covering[0] not in selected:
+    selected_set: Set[PackedCube] = set()
+    for minterm in minterms:
+        covering = coverage[minterm]
+        if len(covering) == 1 and covering[0] not in selected_set:
             selected.append(covering[0])
-    uncovered = {m for m in on_ints
+            selected_set.add(covering[0])
+    uncovered = {m for m in minterms
                  if not any(_contains(p, m) for p in selected)}
     while uncovered:
         def gain(prime: PackedCube) -> Tuple[int, int]:
@@ -196,6 +215,105 @@ def minimize(num_vars: int, on: Iterable[Sequence[int]],
     return Cover(num_vars, cubes).remove_redundant()
 
 
+#: Memo for the fast engine: (num_vars, frozenset(ON), frozenset(DC)) -> cover
+#: as a tuple of packed cubes.  Shared across the whole process because the
+#: exploration loop evaluates thousands of sibling SGs whose signals mostly
+#: keep their (ON, DC) sets.
+_FAST_MEMO: Dict[Tuple[int, FrozenSet[int], FrozenSet[int]],
+                 Tuple[PackedCube, ...]] = engine.register_cache({})
+
+_FAST_MEMO_LIMIT = 200_000
+
+
+def minimize_fast_ints(num_vars: int, on_ints: FrozenSet[int],
+                       dc_ints: FrozenSet[int]) -> Tuple[PackedCube, ...]:
+    """Fast cover over integer-packed minterms; memoized on the input sets.
+
+    This is the engine behind :func:`minimize_fast`, exposed so callers that
+    already hold packed state codes (the SG layer) skip tuple conversion
+    entirely.  Returns the chosen cover as packed ``(mask, value)`` cubes.
+    """
+    key = (num_vars, on_ints, dc_ints)
+    if engine.packed_memo_enabled():
+        cached = _FAST_MEMO.get(key)
+        if cached is not None:
+            return cached
+    result = _expand_and_cover(num_vars, on_ints, dc_ints)
+    if engine.packed_memo_enabled():
+        if len(_FAST_MEMO) > _FAST_MEMO_LIMIT:
+            _FAST_MEMO.clear()
+        _FAST_MEMO[key] = result
+    return result
+
+
+def _expand_and_cover(num_vars: int, on_ints: FrozenSet[int],
+                      dc_ints: FrozenSet[int]) -> Tuple[PackedCube, ...]:
+    """Greedy expand of each ON minterm against OFF, then greedy set cover."""
+    care = on_ints | dc_ints
+    off = [m for m in range(1 << num_vars) if m not in care]
+    full_mask = (1 << num_vars) - 1
+    on_sorted = sorted(on_ints)
+    # Literal-sharing ranks: ones[i] = ON minterms with variable i high, so a
+    # minterm with bit i set shares that literal with ones[i] - 1 others.
+    ones = [0] * num_vars
+    for m in on_sorted:
+        for i in range(num_vars):
+            if m & (1 << i):
+                ones[i] += 1
+    total = len(on_sorted)
+    expanded: List[PackedCube] = []
+    seen: Set[PackedCube] = set()
+    for start in on_sorted:
+        # Minterms swallowed by an earlier expansion would mostly re-derive
+        # the same cube; skipping them is the standard espresso shortcut.
+        if any((start ^ v) & m == 0 for m, v in expanded):
+            continue
+        mask, value = full_mask, start
+        # Raise most-shared literals first: variables whose literal appears
+        # in many other ON minterms are cheap to give up (few minterms lie
+        # on the other side), so trying them first keeps the expansion free
+        # to absorb the rarely-shared directions later.
+        order = sorted(
+            range(num_vars),
+            key=lambda i: (-((ones[i] if start & (1 << i) else total - ones[i]) - 1), i))
+        for i in order:
+            bit = 1 << i
+            trial_mask = mask & ~bit
+            trial_value = value & ~bit
+            if not any((m ^ trial_value) & trial_mask == 0 for m in off):
+                mask, value = trial_mask, trial_value
+        cube = (mask, value)
+        if cube not in seen:
+            seen.add(cube)
+            expanded.append(cube)
+    uncovered = set(on_ints)
+    chosen: List[PackedCube] = []
+    while uncovered:
+        best = max(expanded,
+                   key=lambda c: (sum(1 for m in uncovered if _contains(c, m)),
+                                  -bin(c[0]).count("1")))
+        gained = {m for m in uncovered if _contains(best, m)}
+        if not gained:
+            raise MinimizationError("fast covering stalled")
+        chosen.append(best)
+        uncovered -= gained
+    return tuple(chosen)
+
+
+def fast_literal_count(num_vars: int, on_ints: FrozenSet[int],
+                       dc_ints: FrozenSet[int]) -> int:
+    """Literal count of the fast cover, without building Cube objects.
+
+    The constant-0 and constant-1 short cuts mirror :func:`minimize_fast`.
+    """
+    if not on_ints:
+        return 0
+    if len(on_ints | dc_ints) == 1 << num_vars:
+        return 0
+    cover = minimize_fast_ints(num_vars, on_ints, dc_ints)
+    return sum(bin(mask).count("1") for mask, _ in cover)
+
+
 def minimize_fast(num_vars: int, on: Iterable[Sequence[int]],
                   dc: Iterable[Sequence[int]] = ()) -> Cover:
     """Espresso-flavoured heuristic cover: greedy expand + greedy cover.
@@ -212,34 +330,9 @@ def minimize_fast(num_vars: int, on: Iterable[Sequence[int]],
         return Cover.zero(num_vars)
     if len(on_set | dc_set) == 1 << num_vars:
         return Cover.one(num_vars)
-    care_off = [_pack(m) for m in _all_minterms(num_vars)
-                if m not in on_set and m not in dc_set]
-    full_mask = (1 << num_vars) - 1
-    expanded: List[PackedCube] = []
-    seen: Set[PackedCube] = set()
-    for minterm in sorted(on_set):
-        mask, value = full_mask, _pack(minterm)
-        for i in range(num_vars):
-            bit = 1 << i
-            trial_mask = mask & ~bit
-            trial_value = value & ~bit
-            if not any((m ^ trial_value) & trial_mask == 0 for m in care_off):
-                mask, value = trial_mask, trial_value
-        cube = (mask, value)
-        if cube not in seen:
-            seen.add(cube)
-            expanded.append(cube)
-    uncovered = {_pack(m) for m in on_set}
-    chosen: List[PackedCube] = []
-    while uncovered:
-        best = max(expanded,
-                   key=lambda c: (sum(1 for m in uncovered if _contains(c, m)),
-                                  -bin(c[0]).count("1")))
-        gained = {m for m in uncovered if _contains(best, m)}
-        if not gained:
-            raise MinimizationError("fast covering stalled")
-        chosen.append(best)
-        uncovered -= gained
+    chosen = minimize_fast_ints(num_vars,
+                                frozenset(_pack(m) for m in on_set),
+                                frozenset(_pack(m) for m in dc_set))
     cubes = [_unpack_cube(p, num_vars) for p in chosen]
     return Cover(num_vars, cubes)
 

@@ -9,6 +9,13 @@ The nets manipulated by the synthesis flow are small control specifications,
 so the implementation favours clarity and checkability over raw speed:
 markings are immutable tuples of token counts, reachability is explicit, and
 every mutation validates its arguments.
+
+The token game compiles per-transition pre/post arcs into place-index
+arrays on first use (rebuilt lazily after structural edits), and
+:meth:`PetriNet.fire_incremental` maintains the enabled set across a firing
+by rechecking only the transitions that touch a place whose token count
+changed -- the state-graph generator leans on this to avoid rescanning
+every transition per reachable marking.
 """
 
 from __future__ import annotations
@@ -58,6 +65,22 @@ Marking = Tuple[int, ...]
 """A marking is a tuple of token counts indexed by place index."""
 
 
+@dataclass(frozen=True)
+class _CompiledNet:
+    """Index-array form of the token game (see :meth:`PetriNet._compile`).
+
+    ``pre``/``post`` map each transition to ``((place_index, weight), ...)``;
+    ``affected`` maps each transition to the transitions whose enabledness
+    must be rechecked after it fires; ``order`` is the net declaration order
+    used to keep results deterministic.
+    """
+
+    pre: Dict[str, Tuple[Tuple[int, int], ...]]
+    post: Dict[str, Tuple[Tuple[int, int], ...]]
+    affected: Dict[str, Tuple[str, ...]]
+    order: Dict[str, int]
+
+
 class PetriNet:
     """A finite, weighted Petri net with an initial marking.
 
@@ -77,19 +100,60 @@ class PetriNet:
         self._place_post: Dict[str, Set[str]] = {}  # place -> transitions consuming
         self._place_pre: Dict[str, Set[str]] = {}   # place -> transitions producing
         self._initial: Dict[str, int] = {}
+        self._compiled: Optional["_CompiledNet"] = None
+
+    def _invalidate(self) -> None:
+        self._compiled = None
+
+    def _compile(self) -> "_CompiledNet":
+        """Build (or reuse) the index-array form of the token game."""
+        compiled = self._compiled
+        if compiled is not None:
+            return compiled
+        index = self._place_index
+        pre = {t: tuple(sorted((index[p], w) for p, w in arcs.items()))
+               for t, arcs in self._pre.items()}
+        post = {t: tuple(sorted((index[p], w) for p, w in arcs.items()))
+                for t, arcs in self._post.items()}
+        order = {t: i for i, t in enumerate(self._transitions)}
+        # affected[t]: transitions whose enabling can change when t fires,
+        # i.e. the consumers of every place t consumes from or produces into.
+        affected: Dict[str, Tuple[str, ...]] = {}
+        for t in self._transitions:
+            touched: Set[str] = set()
+            for place in self._pre[t]:
+                touched.update(self._place_post[place])
+            for place in self._post[t]:
+                touched.update(self._place_post[place])
+            affected[t] = tuple(sorted(touched, key=order.__getitem__))
+        compiled = _CompiledNet(pre=pre, post=post, affected=affected, order=order)
+        self._compiled = compiled
+        return compiled
 
     # ------------------------------------------------------------------
     # construction
     # ------------------------------------------------------------------
     def add_place(self, name: str, tokens: int = 0, auto: bool = False) -> Place:
-        """Add a place; returns the existing place if the name is known."""
+        """Add a place; returns the existing place if the name is known.
+
+        Re-adding a known place is idempotent: a ``tokens`` value on re-add
+        must match the existing initial marking (or the place must still be
+        unmarked), otherwise :class:`PetriNetError` is raised.  Tokens are
+        never accumulated across re-adds.
+        """
         if name in self._places:
             place = self._places[name]
             if tokens:
-                self._initial[name] = self._initial.get(name, 0) + tokens
+                existing = self._initial.get(name, 0)
+                if existing and existing != tokens:
+                    raise PetriNetError(
+                        f"place {name!r} re-added with {tokens} token(s) but "
+                        f"already marked with {existing}")
+                self._initial[name] = tokens
             return place
         if name in self._transitions:
             raise PetriNetError(f"name {name!r} already used by a transition")
+        self._invalidate()
         place = Place(name, auto=auto)
         self._places[name] = place
         self._place_index[name] = len(self._place_index)
@@ -108,6 +172,7 @@ class PetriNet:
             return existing
         if name in self._places:
             raise PetriNetError(f"name {name!r} already used by a place")
+        self._invalidate()
         transition = Transition(name, label)
         self._transitions[name] = transition
         self._pre[name] = {}
@@ -134,10 +199,12 @@ class PetriNet:
             self.add_arc(implicit, target, weight)
             return
         if src_is_place and dst_is_trans:
+            self._invalidate()
             self._pre[target][source] = self._pre[target].get(source, 0) + weight
             self._place_post[source].add(target)
             return
         if src_is_trans and dst_is_place:
+            self._invalidate()
             self._post[source][target] = self._post[source].get(target, 0) + weight
             self._place_pre[target].add(source)
             return
@@ -148,6 +215,7 @@ class PetriNet:
 
     def remove_arc(self, source: str, target: str) -> None:
         """Remove an arc previously added with :meth:`add_arc`."""
+        self._invalidate()
         if source in self._places and target in self._transitions:
             self._pre[target].pop(source, None)
             self._place_post[source].discard(target)
@@ -161,6 +229,7 @@ class PetriNet:
         """Remove a place and all arcs incident to it."""
         if name not in self._places:
             raise PetriNetError(f"unknown place {name!r}")
+        self._invalidate()
         for transition in list(self._place_post[name]):
             self._pre[transition].pop(name, None)
         for transition in list(self._place_pre[name]):
@@ -175,6 +244,7 @@ class PetriNet:
         """Remove a transition and all arcs incident to it."""
         if name not in self._transitions:
             raise PetriNetError(f"unknown transition {name!r}")
+        self._invalidate()
         for place in list(self._pre[name]):
             self._place_post[place].discard(name)
         for place in list(self._post[name]):
@@ -246,6 +316,7 @@ class PetriNet:
             raise PetriNetError(f"unknown transition {old!r}")
         if new in self._transitions or new in self._places:
             raise PetriNetError(f"name {new!r} already in use")
+        self._invalidate()
         old_t = self._transitions.pop(old)
         self._transitions[new] = Transition(new, label if label is not None else old_t.label)
         self._pre[new] = self._pre.pop(old)
@@ -301,24 +372,56 @@ class PetriNet:
 
     def is_enabled(self, transition: str, marking: Marking) -> bool:
         """True when every input place holds enough tokens."""
-        index = self._place_index
-        return all(marking[index[p]] >= w for p, w in self._pre[transition].items())
+        if transition not in self._transitions:
+            raise PetriNetError(f"unknown transition {transition!r}")
+        pre = self._compile().pre[transition]
+        return all(marking[i] >= w for i, w in pre)
 
     def enabled_transitions(self, marking: Marking) -> List[str]:
         """Names of all transitions enabled at ``marking`` (net order)."""
-        return [t for t in self._transitions if self.is_enabled(t, marking)]
+        pre = self._compile().pre
+        return [t for t in self._transitions
+                if all(marking[i] >= w for i, w in pre[t])]
 
     def fire(self, transition: str, marking: Marking) -> Marking:
         """Fire an enabled transition; returns the successor marking."""
         if not self.is_enabled(transition, marking):
             raise PetriNetError(f"transition {transition!r} not enabled")
-        index = self._place_index
+        compiled = self._compile()
         counts = list(marking)
-        for place, weight in self._pre[transition].items():
-            counts[index[place]] -= weight
-        for place, weight in self._post[transition].items():
-            counts[index[place]] += weight
+        for i, weight in compiled.pre[transition]:
+            counts[i] -= weight
+        for i, weight in compiled.post[transition]:
+            counts[i] += weight
         return tuple(counts)
+
+    def fire_incremental(self, transition: str, marking: Marking,
+                         enabled: FrozenSet[str]) -> Tuple[Marking, FrozenSet[str]]:
+        """Fire ``transition`` and update the enabled set incrementally.
+
+        ``enabled`` must be the exact enabled set of ``marking`` (for the
+        initial marking, seed it with ``frozenset(enabled_transitions(m))``).
+        Only the transitions consuming from a place whose token count just
+        changed are rechecked, so repeated firings over a large net cost
+        O(local fan-out) instead of O(|T|) per step.
+        """
+        if transition not in enabled:
+            raise PetriNetError(f"transition {transition!r} not enabled")
+        compiled = self._compile()
+        counts = list(marking)
+        for i, weight in compiled.pre[transition]:
+            counts[i] -= weight
+        for i, weight in compiled.post[transition]:
+            counts[i] += weight
+        successor = tuple(counts)
+        pre = compiled.pre
+        updated = set(enabled)
+        for other in compiled.affected[transition]:
+            if all(successor[i] >= w for i, w in pre[other]):
+                updated.add(other)
+            else:
+                updated.discard(other)
+        return successor, frozenset(updated)
 
     def reachable_markings(self, limit: int = 1_000_000) -> Set[Marking]:
         """All markings reachable from the initial marking.

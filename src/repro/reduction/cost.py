@@ -11,8 +11,9 @@ step would dominate the run time.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, FrozenSet, Optional, Tuple
 
+from .. import engine
 from ..logic.complexity import estimate_logic_complexity
 from ..sg.graph import StateGraph
 from ..sg.properties import csc_conflicts
@@ -37,8 +38,34 @@ class CostBreakdown:
         return logic_term + csc_term + 1e-3 * self.state_count
 
 
+#: Weight-independent cost terms keyed by (arc signature, exact_covers):
+#: (literal estimate, CSC conflict pairs, state count).  Shared globally so
+#: sweeps over ``W`` or the frontier width re-measure nothing.
+_TERM_MEMO: Dict[Tuple[FrozenSet, bool], Tuple[int, int, int]] = (
+    engine.register_cache({}))
+
+
+def _measured_terms(sg: StateGraph, signature: FrozenSet,
+                    exact_covers: bool) -> Tuple[int, int, int]:
+    key = (signature, exact_covers)
+    cached = _TERM_MEMO.get(key) if engine.packed_memo_enabled() else None
+    if cached is None:
+        estimate = estimate_logic_complexity(sg, exact=exact_covers)
+        cached = (estimate.literals, len(csc_conflicts(sg)), len(sg))
+        if engine.packed_memo_enabled():
+            if len(_TERM_MEMO) > 100_000:
+                _TERM_MEMO.clear()
+            _TERM_MEMO[key] = cached
+    return cached
+
+
 class CostFunction:
-    """Callable cost with memoisation keyed by the SG's arc signature."""
+    """Callable cost with memoisation keyed by the SG's arc signature.
+
+    The signature comes from :meth:`StateGraph.signature`, which is itself
+    cached on the graph, so repeated evaluations of the same configuration
+    (beam survivors, heap re-pops) cost one dict lookup.
+    """
 
     def __init__(self, weight: float = 0.5, csc_scale: float = 20.0,
                  exact_covers: bool = False) -> None:
@@ -50,18 +77,18 @@ class CostFunction:
         self._cache: Dict[frozenset, CostBreakdown] = {}
 
     def breakdown(self, sg: StateGraph) -> CostBreakdown:
-        signature = frozenset(sg.arcs())
+        signature = sg.signature()
         cached = self._cache.get(signature)
         if cached is not None:
             return cached
-        estimate = estimate_logic_complexity(sg, exact=self.exact_covers)
-        conflicts = csc_conflicts(sg)
+        literals, conflict_pairs, states = _measured_terms(
+            sg, signature, self.exact_covers)
         result = CostBreakdown(
-            logic_literals=estimate.literals,
-            csc_conflict_pairs=len(conflicts),
+            logic_literals=literals,
+            csc_conflict_pairs=conflict_pairs,
             weight=self.weight,
             csc_scale=self.csc_scale,
-            state_count=len(sg),
+            state_count=states,
         )
         self._cache[signature] = result
         return result

@@ -63,8 +63,8 @@ class ExplorationResult:
         return self.best_cost < self.initial_cost
 
 
-def _signature(sg: StateGraph) -> frozenset:
-    return frozenset(sg.arcs())
+def _signature(sg: StateGraph) -> tuple:
+    return sg.signature()
 
 
 def reduce_concurrency(sg: StateGraph,

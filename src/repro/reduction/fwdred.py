@@ -18,10 +18,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import FrozenSet, Optional, Set, Tuple
 
+from typing import Dict
+
+from .. import engine
 from ..petri.stg import SignalKind
 from ..sg.graph import State, StateGraph, StateGraphError
 from ..sg.regions import excitation_region
-from .validity import ValidityReport, check_validity
+from .validity import ValidityReport, validate_removal
 
 
 class ReductionError(Exception):
@@ -42,6 +45,14 @@ class ReductionResult:
         return self.valid
 
 
+#: (result, candidate-graph version) keyed by (parent signature, delayed,
+#: before).  The sweep re-explores the same configurations under different
+#: knobs, and the result of a reduction is a pure function of the parent
+#: graph.  The stored version detects callers mutating a shared candidate.
+_REDUCTION_MEMO: Dict[tuple, Tuple["ReductionResult", int]] = (
+    engine.register_cache({}))
+
+
 def forward_reduction(sg: StateGraph, delayed: str, before: str,
                       validate: bool = True) -> ReductionResult:
     """Apply ``FwdRed(delayed, before)``: make ``delayed`` wait for ``before``.
@@ -51,6 +62,29 @@ def forward_reduction(sg: StateGraph, delayed: str, before: str,
     never raises -- when the events are not concurrent or the reduction
     violates validity, so the exploration loop can just skip it.
     """
+    if validate and engine.packed_memo_enabled():
+        key = (sg.signature(), delayed, before)
+        cached = _REDUCTION_MEMO.get(key)
+        if cached is not None:
+            result, version = cached
+            # A caller may have mutated the shared candidate graph after
+            # receiving it; its version counter exposes that, in which case
+            # the entry is stale and the reduction is rebuilt fresh.
+            if result.sg is None or result.sg._version == version:
+                return result
+        result = _forward_reduction_uncached(sg, delayed, before, True)
+        # Valid entries keep their candidate SG alive, so the cap is much
+        # tighter than the pure-integer memos.
+        if len(_REDUCTION_MEMO) > 20_000:
+            _REDUCTION_MEMO.clear()
+        _REDUCTION_MEMO[key] = (result,
+                                result.sg._version if result.sg else -1)
+        return result
+    return _forward_reduction_uncached(sg, delayed, before, validate)
+
+
+def _forward_reduction_uncached(sg: StateGraph, delayed: str, before: str,
+                                validate: bool) -> ReductionResult:
     if delayed not in sg.events or before not in sg.events:
         raise ReductionError(f"unknown event: {delayed!r} or {before!r}")
     if delayed == before:
@@ -72,20 +106,20 @@ def forward_reduction(sg: StateGraph, delayed: str, before: str,
         return ReductionResult(None, False,
                                f"reduction would remove every occurrence of {delayed}")
 
-    reduced = sg.copy(f"{sg.name}")
-    for state in truncated:
-        reduced.remove_arc(state, delayed)
-    removed_states = reduced.restrict_to_reachable()
-
     if validate:
-        report = check_validity(sg, reduced)
+        report, reachable = validate_removal(sg, delayed, truncated)
         if not report.valid:
             return ReductionResult(None, False, "; ".join(report.reasons),
                                    removed_arcs=len(truncated),
-                                   removed_states=removed_states)
+                                   removed_states=len(sg) - len(reachable))
+    else:
+        reachable = None
+
+    reduced = sg.copy_without_arcs(((state, delayed) for state in truncated),
+                                   name=sg.name, reachable=reachable)
     return ReductionResult(reduced, True, "",
                            removed_arcs=len(truncated),
-                           removed_states=removed_states)
+                           removed_states=len(sg) - len(reduced))
 
 
 def reducible_pairs(sg: StateGraph,

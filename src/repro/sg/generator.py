@@ -95,23 +95,29 @@ def generate_sg(stg: STG, limit: int = 200_000,
     for transition in stg.net.transition_names:
         sg.declare_event(transition, stg.event_of(transition))
 
-    initial = stg.net.initial_marking()
+    net = stg.net
+    initial = net.initial_marking()
     sg.add_state(initial)
     sg.initial = initial
 
-    frontier = [initial]
+    # The frontier carries each marking's enabled set so a firing only
+    # rechecks the transitions it touched (PetriNet.fire_incremental);
+    # iteration stays in net declaration order for determinism.
+    order = {t: i for i, t in enumerate(net.transition_names)}
+    initial_enabled = frozenset(net.enabled_transitions(initial))
+    frontier: List[Tuple[Marking, frozenset]] = [(initial, initial_enabled)]
     seen = {initial}
     arcs: List[Tuple[Marking, str, Marking]] = []
     while frontier:
-        marking = frontier.pop()
-        for transition in stg.net.enabled_transitions(marking):
-            nxt = stg.net.fire(transition, marking)
+        marking, enabled = frontier.pop()
+        for transition in sorted(enabled, key=order.__getitem__):
+            nxt, nxt_enabled = net.fire_incremental(transition, marking, enabled)
             arcs.append((marking, transition, nxt))
             if nxt not in seen:
                 seen.add(nxt)
                 if len(seen) > limit:
                     raise StateGraphError(f"state graph exceeded {limit} states")
-                frontier.append(nxt)
+                frontier.append((nxt, nxt_enabled))
     for source, label, target in arcs:
         sg.add_arc(source, label, target)
 
@@ -135,16 +141,20 @@ def _generate_unfolded(stg: STG, limit: int, name: Optional[str]) -> StateGraph:
         sg.declare_event(transition, stg.event_of(transition))
     index = {signal: i for i, signal in enumerate(sg.signals)}
 
+    net = stg.net
+    order = {t: i for i, t in enumerate(net.transition_names)}
     initial_values = tuple(stg.initial_values.get(s, 0) for s in sg.signals)
-    initial = (stg.net.initial_marking(), initial_values)
+    initial_marking = net.initial_marking()
+    initial = (initial_marking, initial_values)
     sg.add_state(initial, initial_values)
     sg.initial = initial
-    frontier = [initial]
+    initial_enabled = frozenset(net.enabled_transitions(initial_marking))
+    frontier = [(initial, initial_enabled)]
     seen = {initial}
     while frontier:
-        state = frontier.pop()
+        state, enabled = frontier.pop()
         marking, values = state
-        for transition in stg.net.enabled_transitions(marking):
+        for transition in sorted(enabled, key=order.__getitem__):
             event = stg.event_of(transition)
             position = index[event.signal]
             current = values[position]
@@ -156,13 +166,15 @@ def _generate_unfolded(stg: STG, limit: int, name: Optional[str]) -> StateGraph:
                     f"{transition} fires with {event.signal} already low")
             new_values = list(values)
             new_values[position] = 1 - current
-            target = (stg.net.fire(transition, marking), tuple(new_values))
+            nxt_marking, nxt_enabled = net.fire_incremental(transition, marking,
+                                                            enabled)
+            target = (nxt_marking, tuple(new_values))
             if target not in seen:
                 seen.add(target)
                 if len(seen) > limit:
                     raise StateGraphError(f"state graph exceeded {limit} states")
                 sg.add_state(target, target[1])
-                frontier.append(target)
+                frontier.append((target, nxt_enabled))
             sg.add_arc(state, transition, target)
     return sg
 

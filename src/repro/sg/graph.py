@@ -10,11 +10,19 @@ States are opaque hashable objects (marking tuples when generated from an
 STG, strings when built by hand in tests).  Arc labels are transition names;
 ``events`` maps each label to its :class:`~repro.petri.stg.SignalEvent`
 (dummy labels are not allowed in an SG used for synthesis).
+
+Binary codes live in two synchronized representations: the tuple API
+(:meth:`code_of`) and packed integers where bit ``i`` is the value of
+signal ``i`` (:meth:`code_int`), the same convention the logic minimizer
+uses for minterms.  The analysis passes (:mod:`repro.sg.properties`,
+:mod:`repro.sg.regions`, function extraction) run on a compiled flat-array
+snapshot (:meth:`compiled`) that is invalidated automatically on mutation.
 """
 
 from __future__ import annotations
 
 from collections import deque
+from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Hashable, Iterable, Iterator, List, Optional, Set, Tuple
 
 from ..petri.stg import Direction, SignalEvent, SignalKind
@@ -27,6 +35,74 @@ class StateGraphError(Exception):
     """Raised for invalid state-graph operations."""
 
 
+class _CodeMap(dict):
+    """Code store that keeps the owning SG's caches honest on mutation.
+
+    ``sg.codes[state] = code`` is part of the public construction API, so
+    the cache invalidation has to live in the mapping itself: every write
+    bumps the graph version (compiled snapshots embed codes) and evicts the
+    state's packed-integer code, which is cached per state rather than per
+    version so that graph copies can inherit it wholesale.
+    """
+
+    __slots__ = ("_owner",)
+
+    def __init__(self, owner: "StateGraph", *args) -> None:
+        super().__init__(*args)
+        self._owner = owner
+
+    def __setitem__(self, key, value):
+        self._owner._version += 1
+        self._owner._code_int_cache.pop(key, None)
+        super().__setitem__(key, value)
+
+    def __delitem__(self, key):
+        self._owner._version += 1
+        self._owner._code_int_cache.pop(key, None)
+        super().__delitem__(key)
+
+    def pop(self, key, *default):
+        self._owner._version += 1
+        self._owner._code_int_cache.pop(key, None)
+        return super().pop(key, *default)
+
+    def update(self, *args, **kwargs):
+        self._owner._version += 1
+        self._owner._code_int_cache.clear()
+        super().update(*args, **kwargs)
+
+    def clear(self):
+        self._owner._version += 1
+        self._owner._code_int_cache.clear()
+        super().clear()
+
+    def setdefault(self, key, default=None):
+        self._owner._version += 1
+        self._owner._code_int_cache.pop(key, None)
+        return super().setdefault(key, default)
+
+
+@dataclass
+class CompiledSG:
+    """Flat index-based snapshot of an SG for the analysis hot loops.
+
+    Everything is addressed by dense integer ids: ``states[i]`` is the state
+    with id ``i`` and ``succ[i]`` maps label ids to target state ids.
+    ``code_ints`` holds the packed binary codes (bit ``k`` = value of signal
+    ``k``); states without a code pack to -1.
+    """
+
+    states: List[State]
+    index: Dict[State, int]
+    labels: List[str]
+    label_index: Dict[str, int]
+    succ: List[Dict[int, int]]
+    code_ints: List[int]
+    is_input: List[bool]
+    event_signal: List[int]
+    event_direction: List[Direction]
+
+
 class StateGraph:
     """A finite, deterministic-by-construction labelled transition system."""
 
@@ -37,8 +113,37 @@ class StateGraph:
         self.events: Dict[str, SignalEvent] = {}
         self.initial: Optional[State] = None
         self._succ: Dict[State, Dict[str, State]] = {}
-        self._pred: Dict[State, Set[Tuple[str, State]]] = {}
-        self.codes: Dict[State, Code] = {}
+        self._pred_store: Optional[Dict[State, Set[Tuple[str, State]]]] = {}
+        self._version = 0
+        self._code_int_cache: Dict[State, int] = {}
+        self.codes: Dict[State, Code] = _CodeMap(self)
+        self._signal_pos: Dict[str, int] = {}
+        self._signature: Optional[Tuple] = None
+        self._signature_version = -1
+        self._compiled: Optional[CompiledSG] = None
+        self._compiled_version = -1
+
+    @property
+    def _pred(self) -> Dict[State, Set[Tuple[str, State]]]:
+        """Predecessor map, rebuilt lazily from ``_succ`` after bulk edits.
+
+        Reduction candidates are built by the thousands and most are
+        discarded before anything ever walks backwards, so
+        :meth:`copy_without_arcs` leaves this unset and the first backward
+        query pays for the rebuild.
+        """
+        pred = self._pred_store
+        if pred is None:
+            pred = {state: set() for state in self._succ}
+            for state, out in self._succ.items():
+                for label, target in out.items():
+                    pred[target].add((label, state))
+            self._pred_store = pred
+        return pred
+
+    @_pred.setter
+    def _pred(self, value: Optional[Dict[State, Set[Tuple[str, State]]]]) -> None:
+        self._pred_store = value
 
     # ------------------------------------------------------------------
     # construction
@@ -48,6 +153,8 @@ class StateGraph:
             if self.kinds[name] != kind:
                 raise StateGraphError(f"signal {name!r} redeclared with different kind")
             return
+        self._version += 1
+        self._signal_pos[name] = len(self.signals)
         self.signals.append(name)
         self.kinds[name] = kind
 
@@ -63,12 +170,15 @@ class StateGraph:
         existing = self.events.get(label)
         if existing is not None and existing != event:
             raise StateGraphError(f"label {label!r} redeclared with different event")
+        self._version += 1
         self.events[label] = event
 
     def add_state(self, state: State, code: Optional[Code] = None) -> None:
         if state not in self._succ:
+            self._version += 1
             self._succ[state] = {}
-            self._pred[state] = set()
+            if self._pred_store is not None:
+                self._pred_store[state] = set()
         if code is not None:
             if len(code) != len(self.signals):
                 raise StateGraphError("code length does not match signal count")
@@ -86,26 +196,32 @@ class StateGraph:
         if existing is not None and existing != target:
             raise StateGraphError(
                 f"nondeterminism: {source!r} --{label}--> both {existing!r} and {target!r}")
+        self._version += 1
         self._succ[source][label] = target
-        self._pred[target].add((label, source))
+        if self._pred_store is not None:
+            self._pred_store[target].add((label, source))
 
     def remove_arc(self, source: State, label: str) -> None:
         """Remove the unique arc labelled ``label`` leaving ``source``."""
         target = self._succ.get(source, {}).pop(label, None)
         if target is None:
             raise StateGraphError(f"no arc {source!r} --{label}-->")
-        self._pred[target].discard((label, source))
+        self._version += 1
+        if self._pred_store is not None:
+            self._pred_store[target].discard((label, source))
 
     def remove_state(self, state: State) -> None:
         """Remove a state and all arcs incident to it."""
         if state not in self._succ:
             raise StateGraphError(f"unknown state {state!r}")
+        self._version += 1
+        pred = self._pred  # force the rebuild before edits
         for label, target in list(self._succ[state].items()):
-            self._pred[target].discard((label, state))
-        for label, source in list(self._pred[state]):
+            pred[target].discard((label, state))
+        for label, source in list(pred[state]):
             self._succ[source].pop(label, None)
         del self._succ[state]
-        del self._pred[state]
+        del pred[state]
         self.codes.pop(state, None)
         if self.initial == state:
             self.initial = None
@@ -168,14 +284,75 @@ class StateGraph:
         except KeyError:
             raise StateGraphError(f"state {state!r} has no binary code") from None
 
+    def code_int(self, state: State) -> int:
+        """The state's binary code packed into one integer (bit i = signal i).
+
+        Cached per state; :class:`_CodeMap` evicts an entry whenever the
+        state's code is rewritten, and :meth:`copy` hands the cache down.
+        """
+        cached = self._code_int_cache.get(state)
+        if cached is None:
+            code = self.code_of(state)
+            cached = 0
+            for i, value in enumerate(code):
+                if value:
+                    cached |= 1 << i
+            self._code_int_cache[state] = cached
+        return cached
+
     def value_of(self, state: State, signal: str) -> int:
         return self.code_of(state)[self.signal_index(signal)]
 
     def signal_index(self, signal: str) -> int:
         try:
-            return self.signals.index(signal)
-        except ValueError:
+            return self._signal_pos[signal]
+        except KeyError:
             raise StateGraphError(f"undeclared signal {signal!r}") from None
+
+    def signature(self) -> Tuple:
+        """Hashable identity of the graph, cached until mutation.
+
+        Covers everything the analyses depend on -- the arc set, the
+        initial state, signal declarations and the binary codes -- so two
+        graphs with equal signatures are interchangeable for cost
+        evaluation and reduction.  Exploration and the process-global memo
+        tables key on this; computing it once per version saves a full
+        sweep per lookup.
+        """
+        if self._signature_version != self._version or self._signature is None:
+            self._signature = (
+                frozenset(self.arcs()),
+                self.initial,
+                tuple((signal, self.kinds[signal]) for signal in self.signals),
+                frozenset(self.codes.items()),
+            )
+            self._signature_version = self._version
+        return self._signature
+
+    def compiled(self) -> CompiledSG:
+        """The flat index-based snapshot, rebuilt lazily after mutations."""
+        if self._compiled_version == self._version and self._compiled is not None:
+            return self._compiled
+        states = list(self._succ)
+        index = {state: i for i, state in enumerate(states)}
+        labels = list(self.events)
+        label_index = {label: i for i, label in enumerate(labels)}
+        succ: List[Dict[int, int]] = []
+        for state in states:
+            out = self._succ[state]
+            succ.append({label_index[label]: index[target]
+                         for label, target in out.items()})
+        codes = self.codes
+        code_ints = [self.code_int(s) if s in codes else -1 for s in states]
+        is_input = [self.is_input_label(label) for label in labels]
+        event_signal = [self._signal_pos[self.events[label].signal] for label in labels]
+        event_direction = [self.events[label].direction for label in labels]
+        self._compiled = CompiledSG(
+            states=states, index=index, labels=labels, label_index=label_index,
+            succ=succ, code_ints=code_ints, is_input=is_input,
+            event_signal=event_signal, event_direction=event_direction)
+        self._compiled_version = self._version
+        return self._compiled
 
     # ------------------------------------------------------------------
     # reachability
@@ -224,11 +401,81 @@ class StateGraph:
     def restrict_to_reachable(self) -> int:
         """Drop states unreachable from the initial state; returns the count removed."""
         reachable = self.reachable_from()
-        removed = 0
-        for state in [s for s in self._succ if s not in reachable]:
-            self.remove_state(state)
-            removed += 1
+        removed = len(self._succ) - len(reachable)
+        if not removed:
+            return 0
+        # Rebuild wholesale: per-state removal pays for each incident arc,
+        # which dominates when a reduction strands a large region.
+        self._version += 1
+        self._succ = {s: out for s, out in self._succ.items() if s in reachable}
+        self._pred_store = None
+        for state in [s for s in self.codes if s not in reachable]:
+            self.codes.pop(state)
+        if self.initial is not None and self.initial not in reachable:
+            self.initial = None
         return removed
+
+    def copy_without_arcs(self, removed_arcs: Iterable[Tuple[State, str]],
+                          name: Optional[str] = None,
+                          reachable: Optional[Set[State]] = None) -> "StateGraph":
+        """Copy of the reachable part of the graph minus the given arcs.
+
+        Equivalent to ``copy()`` + ``remove_arc`` per pair +
+        ``restrict_to_reachable()`` but built in one forward pass, which is
+        what the reduction engine does for every candidate it generates.
+        ``reachable`` may supply the post-removal reachable set when the
+        caller has already computed it (states keep their declaration
+        order); otherwise it is discovered by BFS from the initial state.
+        """
+        dropped: Dict[State, Set[str]] = {}
+        for state, label in removed_arcs:
+            dropped.setdefault(state, set()).add(label)
+        clone = StateGraph(name or self.name)
+        clone.signals = list(self.signals)
+        clone.kinds = dict(self.kinds)
+        clone.events = dict(self.events)
+        clone._signal_pos = dict(self._signal_pos)
+        if self.initial is None:
+            return clone
+        succ = self._succ
+        codes = self.codes
+        new_succ: Dict[State, Dict[str, State]] = {}
+        if reachable is not None:
+            for state in succ:
+                if state not in reachable:
+                    continue
+                bad = dropped.get(state)
+                new_succ[state] = {
+                    label: target for label, target in succ[state].items()
+                    if bad is None or label not in bad}
+        else:
+            queue = deque([self.initial])
+            new_succ[self.initial] = {}
+            while queue:
+                state = queue.popleft()
+                bad = dropped.get(state)
+                out = {label: target for label, target in succ[state].items()
+                       if bad is None or label not in bad}
+                new_succ[state] = out
+                for target in out.values():
+                    if target not in new_succ:
+                        new_succ[target] = {}
+                        queue.append(target)
+        clone._succ = new_succ
+        clone._pred_store = None
+        clone.initial = self.initial
+        code_map = clone.codes
+        cache = clone._code_int_cache
+        own_cache = self._code_int_cache
+        for state in new_succ:
+            code = codes.get(state)
+            if code is not None:
+                dict.__setitem__(code_map, state, code)
+                packed = own_cache.get(state)
+                if packed is not None:
+                    cache[state] = packed
+        clone._version += 1
+        return clone
 
     # ------------------------------------------------------------------
     # utilities
@@ -240,8 +487,11 @@ class StateGraph:
         clone.events = dict(self.events)
         clone.initial = self.initial
         clone._succ = {s: dict(out) for s, out in self._succ.items()}
-        clone._pred = {s: set(inc) for s, inc in self._pred.items()}
-        clone.codes = dict(self.codes)
+        clone._pred_store = (None if self._pred_store is None else
+                             {s: set(inc) for s, inc in self._pred_store.items()})
+        clone.codes.update(self.codes)
+        clone._code_int_cache = dict(self._code_int_cache)
+        clone._signal_pos = dict(self._signal_pos)
         return clone
 
     def code_string(self, state: State) -> str:

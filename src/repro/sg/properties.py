@@ -30,29 +30,52 @@ class ConsistencyViolation:
 
 
 def consistency_violations(sg: StateGraph) -> List[ConsistencyViolation]:
-    """Arcs that violate the coded-arc rules (rise from 0 to 1, etc.)."""
+    """Arcs that violate the coded-arc rules (rise from 0 to 1, etc.).
+
+    Runs on packed integer codes: the event's own signal is checked through
+    its bit, and "every other signal holds its value" is one XOR of the two
+    state codes instead of a per-signal sweep.
+    """
     violations = []
-    for source, label, target in sg.arcs():
-        event = sg.events[label]
-        src_code = sg.code_of(source)
-        dst_code = sg.code_of(target)
-        index = sg.signal_index(event.signal)
-        if event.direction == Direction.RISE:
-            ok = src_code[index] == 0 and dst_code[index] == 1
-        elif event.direction == Direction.FALL:
-            ok = src_code[index] == 1 and dst_code[index] == 0
-        else:
-            ok = src_code[index] != dst_code[index]
-        if not ok:
-            violations.append(ConsistencyViolation(
-                source, label, target,
-                f"{event.signal} goes {src_code[index]}->{dst_code[index]} on {label}"))
-            continue
-        for i, signal in enumerate(sg.signals):
-            if i != index and src_code[i] != dst_code[i]:
+    compiled = sg.compiled()
+    codes = compiled.code_ints
+    for sid, out in enumerate(compiled.succ):
+        if out and codes[sid] < 0:
+            sg.code_of(compiled.states[sid])  # raises StateGraphError
+        source = compiled.states[sid]
+        for lid, tid in out.items():
+            if codes[tid] < 0:
+                sg.code_of(compiled.states[tid])  # raises StateGraphError
+            src, dst = codes[sid], codes[tid]
+            index = compiled.event_signal[lid]
+            bit = 1 << index
+            direction = compiled.event_direction[lid]
+            label = compiled.labels[lid]
+            target = compiled.states[tid]
+            if direction == Direction.RISE:
+                ok = not src & bit and dst & bit
+            elif direction == Direction.FALL:
+                ok = src & bit and not dst & bit
+            else:
+                ok = (src ^ dst) & bit
+            if not ok:
+                signal = sg.signals[index]
                 violations.append(ConsistencyViolation(
                     source, label, target,
-                    f"{signal} changes {src_code[i]}->{dst_code[i]} on {label}"))
+                    f"{signal} goes {(src >> index) & 1}->{(dst >> index) & 1} "
+                    f"on {label}"))
+                continue
+            changed = (src ^ dst) & ~bit
+            i = 0
+            while changed:
+                if changed & 1:
+                    signal = sg.signals[i]
+                    violations.append(ConsistencyViolation(
+                        source, label, target,
+                        f"{signal} changes {(src >> i) & 1}->{(dst >> i) & 1} "
+                        f"on {label}"))
+                changed >>= 1
+                i += 1
     return violations
 
 
@@ -79,17 +102,26 @@ class CommutativityViolation:
 def commutativity_violations(sg: StateGraph) -> List[CommutativityViolation]:
     """States where two events fire in both orders to different states."""
     violations = []
-    for state in sg.states:
-        enabled = sg.enabled(state)
-        for i, label_a in enumerate(enabled):
-            for label_b in enabled[i + 1:]:
-                via_a = sg.target(state, label_a)
-                via_b = sg.target(state, label_b)
-                end_ab = sg.target(via_a, label_b)
-                end_ba = sg.target(via_b, label_a)
-                if end_ab is not None and end_ba is not None and end_ab != end_ba:
+    compiled = sg.compiled()
+    succ = compiled.succ
+    states = compiled.states
+    labels = compiled.labels
+    for sid, out in enumerate(succ):
+        if len(out) < 2:
+            continue
+        enabled = list(out)
+        for i, lid_a in enumerate(enabled):
+            via_a = out[lid_a]
+            for lid_b in enabled[i + 1:]:
+                via_b = out[lid_b]
+                end_ab = succ[via_a].get(lid_b)
+                if end_ab is None:
+                    continue
+                end_ba = succ[via_b].get(lid_a)
+                if end_ba is not None and end_ab != end_ba:
                     violations.append(CommutativityViolation(
-                        state, label_a, label_b, via_a, via_b))
+                        states[sid], labels[lid_a], labels[lid_b],
+                        states[via_a], states[via_b]))
     return violations
 
 
@@ -116,21 +148,27 @@ def persistency_violations(sg: StateGraph,
     is False, in which case input disabling is ignored entirely.
     """
     violations = []
-    for state in sg.states:
-        enabled = sg.enabled(state)
-        for label in enabled:
+    compiled = sg.compiled()
+    succ = compiled.succ
+    is_input = compiled.is_input
+    states = compiled.states
+    labels = compiled.labels
+    for sid, out in enumerate(succ):
+        if len(out) < 2:
+            continue
+        enabled = list(out)
+        for lid in enabled:
             for other in enabled:
-                if other == label:
+                if other == lid:
                     continue
-                after = sg.target(state, other)
-                if sg.target(after, label) is not None:
+                if lid in succ[out[other]]:
                     continue
-                label_is_input = sg.is_input_label(label)
-                other_is_input = sg.is_input_label(other)
-                if not label_is_input:
-                    violations.append(PersistencyViolation(state, label, other))
-                elif check_inputs and not other_is_input:
-                    violations.append(PersistencyViolation(state, label, other))
+                if not is_input[lid]:
+                    violations.append(PersistencyViolation(
+                        states[sid], labels[lid], labels[other]))
+                elif check_inputs and not is_input[other]:
+                    violations.append(PersistencyViolation(
+                        states[sid], labels[lid], labels[other]))
     return violations
 
 
@@ -164,35 +202,57 @@ def _excited_signals(sg: StateGraph, state: State, non_input_only: bool) -> froz
     return frozenset(signals)
 
 
+def _group_by_code_int(sg: StateGraph) -> Dict[int, List[int]]:
+    """State ids grouped by packed code; raises on a state without a code."""
+    compiled = sg.compiled()
+    by_code: Dict[int, List[int]] = {}
+    for sid, code in enumerate(compiled.code_ints):
+        if code < 0:
+            sg.code_of(compiled.states[sid])  # raises StateGraphError
+        by_code.setdefault(code, []).append(sid)
+    return by_code
+
+
 def csc_conflicts(sg: StateGraph) -> List[CSCConflict]:
-    """All CSC conflict pairs (unordered, each pair reported once)."""
-    by_code: Dict[Tuple[int, ...], List[State]] = {}
-    for state in sg.states:
-        by_code.setdefault(sg.code_of(state), []).append(state)
+    """All CSC conflict pairs (unordered, each pair reported once).
+
+    States are bucketed by their packed integer codes and each state's
+    non-input excitation is computed once per bucket member, so the usual
+    no-conflict case costs one pass over the states.
+    """
+    compiled = sg.compiled()
+    signals = sg.signals
     conflicts = []
-    for code, states in by_code.items():
-        if len(states) < 2:
+    for code, sids in _group_by_code_int(sg).items():
+        if len(sids) < 2:
             continue
-        for i, state_a in enumerate(states):
-            excited_a = _excited_signals(sg, state_a, non_input_only=True)
-            for state_b in states[i + 1:]:
-                excited_b = _excited_signals(sg, state_b, non_input_only=True)
-                if excited_a != excited_b:
-                    conflicts.append(CSCConflict(state_a, state_b, code,
-                                                 excited_a, excited_b))
+        excited = []
+        for sid in sids:
+            members = set()
+            for lid in compiled.succ[sid]:
+                if compiled.is_input[lid]:
+                    continue
+                members.add((signals[compiled.event_signal[lid]],
+                             compiled.event_direction[lid].value))
+            excited.append(frozenset(members))
+        code_tuple = sg.code_of(compiled.states[sids[0]])
+        for i, sid_a in enumerate(sids):
+            for j in range(i + 1, len(sids)):
+                if excited[i] != excited[j]:
+                    conflicts.append(CSCConflict(
+                        compiled.states[sid_a], compiled.states[sids[j]],
+                        code_tuple, excited[i], excited[j]))
     return conflicts
 
 
 def usc_conflicts(sg: StateGraph) -> List[Tuple[State, State]]:
     """Pairs of distinct states sharing a binary code (Unique State Coding)."""
-    by_code: Dict[Tuple[int, ...], List[State]] = {}
-    for state in sg.states:
-        by_code.setdefault(sg.code_of(state), []).append(state)
+    compiled = sg.compiled()
     pairs = []
-    for states in by_code.values():
-        for i, state_a in enumerate(states):
-            for state_b in states[i + 1:]:
-                pairs.append((state_a, state_b))
+    for sids in _group_by_code_int(sg).values():
+        for i, sid_a in enumerate(sids):
+            for sid_b in sids[i + 1:]:
+                pairs.append((compiled.states[sid_a], compiled.states[sid_b]))
     return pairs
 
 

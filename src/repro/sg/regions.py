@@ -24,7 +24,7 @@ def excitation_region(sg: StateGraph, label: str) -> Set[State]:
     the connected decomposition (the reduction operates on the full set of
     the given transition instance, which is connected in practice).
     """
-    return {state for state in sg.states if sg.target(state, label) is not None}
+    return {state for state, out in sg._succ.items() if label in out}
 
 
 def excitation_region_components(sg: StateGraph, label: str) -> List[Set[State]]:
@@ -57,11 +57,12 @@ def quiescent_region(sg: StateGraph, signal: str, value: int) -> Set[State]:
     """States where ``signal`` is stable at ``value`` (no transition enabled)."""
     index = sg.signal_index(signal)
     labels = sg.labels_of_signal(signal)
+    bit = 1 << index
     region = set()
-    for state in sg.states:
-        if sg.code_of(state)[index] != value:
+    for state, out in sg._succ.items():
+        if bool(sg.code_int(state) & bit) != bool(value):
             continue
-        if any(sg.target(state, label) is not None for label in labels):
+        if any(label in out for label in labels):
             continue
         region.add(state)
     return region
@@ -77,32 +78,37 @@ def are_concurrent(sg: StateGraph, label_a: str, label_b: str) -> bool:
     """Definition 2.1: a diamond on ``label_a``/``label_b`` exists in the SG."""
     if label_a == label_b:
         return False
-    for state in sg.states:
-        via_a = sg.target(state, label_a)
-        via_b = sg.target(state, label_b)
-        if via_a is None or via_b is None:
+    succ = sg._succ
+    for out in succ.values():
+        via_a = out.get(label_a)
+        if via_a is None:
             continue
-        end = sg.target(via_a, label_b)
-        if end is not None and sg.target(via_b, label_a) == end:
+        via_b = out.get(label_b)
+        if via_b is None:
+            continue
+        end = succ[via_a].get(label_b)
+        if end is not None and succ[via_b].get(label_a) == end:
             return True
     return False
 
 
 def concurrent_pairs(sg: StateGraph) -> Set[Tuple[str, str]]:
     """All unordered concurrent label pairs, reported as sorted tuples."""
+    succ = sg._succ
     pairs: Set[Tuple[str, str]] = set()
-    for state in sg.states:
-        enabled = sg.enabled(state)
+    for state, out in succ.items():
+        if len(out) < 2:
+            continue
+        enabled = list(out)
         for i, label_a in enumerate(enabled):
+            via_a = out[label_a]
             for label_b in enabled[i + 1:]:
-                key = tuple(sorted((label_a, label_b)))
+                key = (label_a, label_b) if label_a <= label_b else (label_b, label_a)
                 if key in pairs:
                     continue
-                via_a = sg.target(state, label_a)
-                via_b = sg.target(state, label_b)
-                end = sg.target(via_a, label_b)
-                if end is not None and sg.target(via_b, label_a) == end:
-                    pairs.add(key)  # type: ignore[arg-type]
+                end = succ[via_a].get(label_b)
+                if end is not None and succ[out[label_b]].get(label_a) == end:
+                    pairs.add(key)
     return pairs
 
 
@@ -123,7 +129,7 @@ def trigger_events(sg: StateGraph, label: str) -> Set[str]:
     er = excitation_region(sg, label)
     triggers: Set[str] = set()
     for state in er:
-        for incoming_label, source in sg.predecessors(state):
+        for incoming_label, source in sg._pred[state]:
             if source not in er:
                 triggers.add(incoming_label)
     return triggers

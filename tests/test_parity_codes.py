@@ -1,0 +1,205 @@
+"""Unit tests for the parity union-find and constraint-based code assignment.
+
+The solver in :mod:`repro.sg.generator` carries equality/inequality (XOR)
+constraints between (state, signal) variables; these tests exercise it both
+directly (:class:`_ParityUnionFind`) and through :func:`_assign_codes` on
+hand-built toggle (2-phase) state graphs, including the inconsistency
+witnesses and the declared-initial-value flip of an unconstrained class.
+"""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.petri.stg import Direction, SignalEvent, SignalKind, STG
+from repro.sg.generator import (ConsistencyError, _ParityUnionFind,
+                                _assign_codes, generate_sg)
+from repro.sg.graph import StateGraph
+
+
+class TestParityUnionFind:
+    def test_fresh_item_is_its_own_even_root(self):
+        uf = _ParityUnionFind()
+        root, parity = uf.find("x")
+        assert root == "x" and parity == 0
+
+    def test_equal_union_keeps_parity_zero(self):
+        uf = _ParityUnionFind()
+        assert uf.union("a", "b", 0)
+        root_a, parity_a = uf.find("a")
+        root_b, parity_b = uf.find("b")
+        assert root_a == root_b
+        assert parity_a == parity_b
+
+    def test_unequal_union_gives_odd_relative_parity(self):
+        uf = _ParityUnionFind()
+        assert uf.union("a", "b", 1)
+        root_a, parity_a = uf.find("a")
+        root_b, parity_b = uf.find("b")
+        assert root_a == root_b
+        assert parity_a ^ parity_b == 1
+
+    def test_parity_composes_over_chains(self):
+        # a != b, b != c  =>  a == c;  c != d  =>  a != d.
+        uf = _ParityUnionFind()
+        uf.union("a", "b", 1)
+        uf.union("b", "c", 1)
+        uf.union("c", "d", 1)
+        _, pa = uf.find("a")
+        _, pc = uf.find("c")
+        _, pd = uf.find("d")
+        assert pa == pc
+        assert pa ^ pd == 1
+
+    def test_contradiction_detected(self):
+        uf = _ParityUnionFind()
+        assert uf.union("a", "b", 0)
+        assert uf.union("b", "c", 1)
+        assert not uf.union("a", "c", 0)  # a==b, b!=c forces a!=c
+        assert uf.union("a", "c", 1)      # restating the truth is fine
+
+    def test_redundant_union_is_consistent(self):
+        uf = _ParityUnionFind()
+        assert uf.union("a", "b", 1)
+        assert uf.union("a", "b", 1)
+        assert not uf.union("a", "b", 0)
+
+    def test_path_compression_preserves_parities(self):
+        uf = _ParityUnionFind()
+        items = [f"v{i}" for i in range(20)]
+        for first, second in zip(items, items[1:]):
+            uf.union(first, second, 1)
+        # Alternating chain: v0 and v_k agree iff k is even.
+        _, p0 = uf.find(items[0])
+        for k, item in enumerate(items):
+            root, parity = uf.find(item)
+            assert root == uf.find(items[0])[0]
+            assert (parity ^ p0) == (k % 2)
+
+
+def _toggle_stg(*signals):
+    stg = STG("toggle-codes")
+    for name, kind in signals:
+        stg.declare_signal(name, kind)
+    return stg
+
+
+def _toggle_sg(stg, arcs, states):
+    sg = StateGraph(stg.name)
+    for name, kind in stg.signals.items():
+        sg.declare_signal(name, kind)
+    for label in {label for _, label, _ in arcs}:
+        sg.declare_event(label)
+    for state in states:
+        sg.add_state(state)
+    sg.initial = states[0]
+    for source, label, target in arcs:
+        sg.add_arc(source, label, target)
+    return sg
+
+
+class TestAssignCodesToggle:
+    def test_toggle_arc_flips_only_its_signal(self):
+        stg = _toggle_stg(("a", SignalKind.OUTPUT), ("b", SignalKind.INPUT))
+        sg = _toggle_sg(stg, [("s0", "a~", "s1"), ("s1", "a~", "s0")],
+                        ["s0", "s1"])
+        _assign_codes(stg, sg)
+        a_index, b_index = sg.signal_index("a"), sg.signal_index("b")
+        assert sg.codes["s0"][a_index] != sg.codes["s1"][a_index]  # flip
+        assert sg.codes["s0"][b_index] == sg.codes["s1"][b_index]  # preserve
+
+    def test_toggle_constrained_equal_is_witnessed(self):
+        # A self-loop demands a flip between a state and itself.
+        stg = _toggle_stg(("a", SignalKind.OUTPUT))
+        sg = _toggle_sg(stg, [("s0", "a~", "s0")], ["s0"])
+        with pytest.raises(ConsistencyError, match="flip"):
+            _assign_codes(stg, sg)
+
+    def test_preserve_conflicting_with_flip_is_witnessed(self):
+        # b must both hold (across a~) and flip (across b~) on parallel arcs
+        # forming an odd cycle: s0 --a~--> s1, s0 --b~--> s1.
+        stg = _toggle_stg(("a", SignalKind.OUTPUT), ("b", SignalKind.OUTPUT))
+        sg = _toggle_sg(stg, [("s0", "a~", "s1"), ("s0", "b~", "s1")],
+                        ["s0", "s1"])
+        with pytest.raises(ConsistencyError):
+            _assign_codes(stg, sg)
+
+    def test_rise_fall_fixed_values_still_apply(self):
+        # A 4-phase signal `a` interleaved with a toggle signal `t` that
+        # flips twice per cycle (an even toggle count is required).
+        stg = _toggle_stg(("a", SignalKind.OUTPUT), ("t", SignalKind.OUTPUT))
+        sg = _toggle_sg(stg, [("s0", "a+", "s1"), ("s1", "t~", "s2"),
+                              ("s2", "a-", "s3"), ("s3", "t~", "s0")],
+                        ["s0", "s1", "s2", "s3"])
+        _assign_codes(stg, sg)
+        a_index = sg.signal_index("a")
+        t_index = sg.signal_index("t")
+        assert [sg.codes[s][a_index] for s in ("s0", "s1", "s2", "s3")] == [0, 1, 1, 0]
+        assert sg.codes["s1"][t_index] != sg.codes["s2"][t_index]
+        assert sg.codes["s3"][t_index] != sg.codes["s0"][t_index]
+
+    def test_declared_initial_value_flips_free_class(self):
+        # The toggle class of `a` has no fixed value anywhere, so the
+        # declared initial value must flip the whole connected class.
+        stg = _toggle_stg(("a", SignalKind.OUTPUT))
+        stg.set_initial_value("a", 1)
+        sg = _toggle_sg(stg, [("s0", "a~", "s1"), ("s1", "a~", "s0")],
+                        ["s0", "s1"])
+        _assign_codes(stg, sg)
+        a_index = sg.signal_index("a")
+        assert sg.codes["s0"][a_index] == 1
+        assert sg.codes["s1"][a_index] == 0
+
+    def test_declared_initial_value_conflict_with_forced_encoding(self):
+        stg = _toggle_stg(("a", SignalKind.OUTPUT))
+        stg.set_initial_value("a", 1)
+        sg = _toggle_sg(stg, [("s0", "a+", "s1"), ("s1", "a-", "s0")],
+                        ["s0", "s1"])
+        # a+ from the initial state forces a=0 there; declaring 1 must fail.
+        with pytest.raises(ConsistencyError, match="initial"):
+            _assign_codes(stg, sg)
+
+    def test_unconstrained_signal_gets_declared_value_everywhere(self):
+        stg = _toggle_stg(("a", SignalKind.OUTPUT), ("idle", SignalKind.INPUT))
+        stg.set_initial_value("idle", 1)
+        sg = _toggle_sg(stg, [("s0", "a~", "s1"), ("s1", "a~", "s0")],
+                        ["s0", "s1"])
+        _assign_codes(stg, sg)
+        idle_index = sg.signal_index("idle")
+        assert all(sg.codes[s][idle_index] == 1 for s in ("s0", "s1"))
+
+
+class TestMinimizeDeterminism:
+    ON = [(0, 0, 1, 0), (0, 1, 1, 0), (1, 1, 1, 0), (1, 1, 1, 1), (0, 0, 0, 1)]
+    DC = [(1, 0, 1, 0), (0, 1, 0, 1)]
+
+    def test_two_runs_identical_covers(self):
+        from repro.logic.minimize import minimize, minimize_fast
+
+        for engine_fn in (minimize, minimize_fast):
+            first = engine_fn(4, self.ON, self.DC)
+            # Present the same sets in a different order: the result must
+            # not depend on set iteration or insertion order.
+            second = engine_fn(4, list(reversed(self.ON)),
+                               list(reversed(self.DC)))
+            assert [str(c) for c in first] == [str(c) for c in second]
+
+    def test_identical_across_hash_seeds(self):
+        # str hashing is the classic cross-process nondeterminism source;
+        # the cover must not depend on it.
+        script = (
+            "from repro.logic.minimize import minimize, minimize_fast\n"
+            f"on = {self.ON!r}\n"
+            f"dc = {self.DC!r}\n"
+            "print([str(c) for c in minimize(4, on, dc)])\n"
+            "print([str(c) for c in minimize_fast(4, on, dc)])\n"
+        )
+        outputs = set()
+        for seed in ("0", "1", "12345"):
+            result = subprocess.run(
+                [sys.executable, "-c", script], capture_output=True,
+                text=True, check=True,
+                env={"PYTHONPATH": "src", "PYTHONHASHSEED": seed})
+            outputs.add(result.stdout)
+        assert len(outputs) == 1

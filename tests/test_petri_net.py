@@ -36,11 +36,24 @@ class TestConstruction:
         assert first is second
         assert len(net.places) == 1
 
-    def test_add_place_twice_accumulates_tokens(self):
+    def test_add_place_readd_is_idempotent(self):
         net = PetriNet()
         net.add_place("p", tokens=1)
+        net.add_place("p", tokens=1)
+        assert net.initial_marking() == (1,)
+
+    def test_add_place_readd_can_mark_unmarked_place(self):
+        net = PetriNet()
+        net.add_place("p")
         net.add_place("p", tokens=2)
-        assert net.initial_marking() == (3,)
+        net.add_place("p")  # token-less re-add never clears the marking
+        assert net.initial_marking() == (2,)
+
+    def test_add_place_readd_with_conflicting_tokens_rejected(self):
+        net = PetriNet()
+        net.add_place("p", tokens=1)
+        with pytest.raises(PetriNetError):
+            net.add_place("p", tokens=2)
 
     def test_place_and_transition_name_clash_rejected(self):
         net = PetriNet()
