@@ -37,14 +37,16 @@ from .hse.spec import ChannelRole, PartialSpec
 from .hse.constraints import InterfaceConstraint
 from .hse.expansion import expand, expand_four_phase, expand_two_phase
 from .reduction.fwdred import forward_reduction
-from .reduction.explore import full_reduction, reduce_concurrency
+from .reduction.explore import (ExplorationStats, full_reduction,
+                                full_reduction_with_stats, reduce_concurrency)
 from .encoding.insertion import resolve_csc
 from .circuit.library import DEFAULT_LIBRARY, Cell, Library
 from .circuit.netlist import Netlist
 from .circuit.synthesize import synthesize_circuit
 from .timing.delays import TABLE1_DELAYS, DelayModel
 from .timing.critical_cycle import critical_cycle
-from .flow import FlowResult, ImplementationReport, implement, implement_stg, run_flow
+from .flow import (FlowResult, ImplementationReport, implement, implement_stg,
+                   reduce_sg, run_flow, run_flow_stg)
 
 __version__ = "0.1.0"
 
@@ -56,11 +58,12 @@ __all__ = [
     "check_implementability", "csc_conflicts",
     "ChannelRole", "PartialSpec", "InterfaceConstraint",
     "expand", "expand_four_phase", "expand_two_phase",
-    "forward_reduction", "full_reduction", "reduce_concurrency",
+    "forward_reduction", "full_reduction", "full_reduction_with_stats",
+    "ExplorationStats", "reduce_concurrency",
     "resolve_csc",
     "DEFAULT_LIBRARY", "Cell", "Library", "Netlist", "synthesize_circuit",
     "TABLE1_DELAYS", "DelayModel", "critical_cycle",
     "FlowResult", "ImplementationReport", "implement", "implement_stg",
-    "run_flow",
+    "reduce_sg", "run_flow", "run_flow_stg",
     "__version__",
 ]

@@ -7,8 +7,12 @@ Usage (also via ``python -m repro``)::
     python -m repro synth  spec.g [--full] [--no-reduce] [--keep li-,ri-]
                                    [-W 0.5] [--max-csc 4]
     python -m repro reduce spec.g [-o out.g]   # reduce + re-derive an STG
+    python -m repro sweep  [--specs lr,mmu] [--jobs 4] [--store DIR]
+                           [--format md|csv|json] [-o report.md]
 
-All commands read astg-style ``.g`` files (see ``repro.petri.parser``).
+``check``/``sg``/``synth``/``reduce`` read astg-style ``.g`` files (see
+``repro.petri.parser``); ``sweep`` runs the built-in benchmark registry
+through the whole Tables 1-2 design-space grid in parallel.
 """
 
 from __future__ import annotations
@@ -82,8 +86,11 @@ def _reduced_sg(args: argparse.Namespace):
 
 def cmd_synth(args: argparse.Namespace) -> int:
     initial, reduced = _reduced_sg(args)
-    delays = DelayModel.by_kind(args.input_delay, args.output_delay,
-                                args.output_delay)
+    # Inserted CSC signals are *internal*: they get their own delay, which
+    # defaults to the output delay (the Table 1 convention) but can differ.
+    internal = (args.output_delay if args.internal_delay is None
+                else args.internal_delay)
+    delays = DelayModel.by_kind(args.input_delay, args.output_delay, internal)
     report = implement(reduced, delays=delays, max_csc_signals=args.max_csc)
     print(f"states: {len(initial)} -> {len(reduced)} after reduction")
     print(f"CSC signals inserted: {report.csc_signal_count} "
@@ -98,6 +105,45 @@ def cmd_synth(args: argparse.Namespace) -> int:
         print(f"critical cycle: {report.cycle_time} "
               f"({report.input_event_count} input events)")
     return 0 if report.csc_resolved else 1
+
+
+def _parse_csv(text: Optional[str]) -> Optional[List[str]]:
+    if not text:
+        return None
+    return [item.strip() for item in text.split(",") if item.strip()]
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    from .sweep import ResultStore, render, run_sweep, tables_grid
+
+    if args.jobs < 1:
+        raise SystemExit("--jobs must be at least 1")
+    try:
+        weights = [float(w) for w in (_parse_csv(args.weights)
+                                      or ["0.0", "0.5", "1.0"])]
+        grid = tables_grid(specs=_parse_csv(args.specs),
+                           strategies=_parse_csv(args.strategies)
+                           or ("none", "beam", "best-first", "full"),
+                           weights=weights,
+                           frontier=args.frontier,
+                           include_keep_variants=not args.no_keep_variants,
+                           max_explored=args.max_explored)
+    except (KeyError, ValueError) as exc:
+        raise SystemExit(str(exc))
+    store = ResultStore(args.store) if args.store else None
+    outcome = run_sweep(grid, jobs=args.jobs, store=store)
+    text = render(outcome.rows, args.format)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text)
+        print(f"wrote {args.output}", file=sys.stderr)
+    else:
+        print(text, end="")
+    print(f"{len(outcome.points)} points: {outcome.computed} computed, "
+          f"{outcome.cached} cached, {outcome.seconds:.2f}s "
+          f"({outcome.points_per_second:.1f} points/s, jobs={outcome.jobs})",
+          file=sys.stderr)
+    return 0
 
 
 def cmd_reduce(args: argparse.Namespace) -> int:
@@ -151,6 +197,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="state-signal insertion budget")
     synth.add_argument("--input-delay", type=float, default=2.0)
     synth.add_argument("--output-delay", type=float, default=1.0)
+    synth.add_argument("--internal-delay", type=float, default=None,
+                       help="delay of inserted CSC signals "
+                            "(default: the output delay)")
     synth.set_defaults(func=cmd_synth)
 
     reduce_cmd = sub.add_parser("reduce",
@@ -158,6 +207,34 @@ def build_parser() -> argparse.ArgumentParser:
     add_reduction_options(reduce_cmd)
     reduce_cmd.add_argument("-o", "--output", help="output .g path")
     reduce_cmd.set_defaults(func=cmd_reduce)
+
+    sweep = sub.add_parser("sweep",
+                           help="parallel design-space sweep over the "
+                                "built-in benchmark grid (Tables 1-2)")
+    sweep.add_argument("--specs", metavar="NAME[,NAME...]",
+                       help="benchmark subset (default: every registered "
+                            "spec; see repro.sweep.spec_registry)")
+    sweep.add_argument("--strategies", metavar="S[,S...]",
+                       help="subset of none,beam,best-first,full "
+                            "(default: all)")
+    sweep.add_argument("--weights", metavar="W[,W...]",
+                       help="cost weights for the searched strategies "
+                            "(default: 0.0,0.5,1.0)")
+    sweep.add_argument("--frontier", type=int, default=None,
+                       help="beam width override (default: 4, full: 6)")
+    sweep.add_argument("--max-explored", type=int, default=None,
+                       help="per-point exploration budget override")
+    sweep.add_argument("--no-keep-variants", action="store_true",
+                       help="skip the named Keep_Conc rows (li || ri, ...)")
+    sweep.add_argument("-j", "--jobs", type=int, default=1,
+                       help="worker processes (default: 1, serial)")
+    sweep.add_argument("--store", metavar="DIR",
+                       help="on-disk result store; completed points are "
+                            "reused across runs and overlapping grids")
+    sweep.add_argument("--format", choices=("md", "csv", "json"),
+                       default="md", help="report format (default: md)")
+    sweep.add_argument("-o", "--output", help="write the report to a file")
+    sweep.set_defaults(func=cmd_sweep)
     return parser
 
 

@@ -28,7 +28,8 @@ from .hse.constraints import InterfaceConstraint
 from .hse.expansion import expand
 from .hse.spec import PartialSpec
 from .petri.stg import STG
-from .reduction.explore import ExplorationResult, full_reduction, reduce_concurrency
+from .reduction.explore import (ExplorationResult, ExplorationStats,
+                                full_reduction_with_stats, reduce_concurrency)
 from .sg.generator import generate_sg
 from .sg.graph import StateGraph
 from .sg.properties import check_implementability, csc_conflicts
@@ -127,14 +128,93 @@ class FlowResult:
     """Artifacts of every stage of the Fig. 4 flow."""
 
     spec: Optional[PartialSpec]
-    expanded: STG
+    expanded: Optional[STG]
     initial_sg: StateGraph
     exploration: Optional[ExplorationResult]
     report: ImplementationReport
+    reduction_stats: Optional[ExplorationStats] = None
 
     @property
     def reduced_sg(self) -> StateGraph:
         return self.report.sg
+
+
+#: The reduction strategies :func:`run_flow_stg` understands (the sweep
+#: subsystem exposes the same axis): ``none`` keeps maximal concurrency,
+#: ``beam``/``best-first`` run the Fig. 9 search, ``full`` drives
+#: concurrency as low as validity allows.
+STRATEGIES = ("none", "beam", "best-first", "full")
+
+
+def reduce_sg(initial_sg: StateGraph,
+              strategy: str = "best-first",
+              keep_conc: Iterable[Tuple[str, str]] = (),
+              size_frontier: Optional[int] = None,
+              weight: float = 0.5,
+              max_explored: Optional[int] = None,
+              ) -> Tuple[StateGraph, Optional[ExplorationResult],
+                         Optional[ExplorationStats]]:
+    """Apply one reduction strategy; returns (chosen SG, exploration, stats).
+
+    ``size_frontier`` and ``max_explored`` default per strategy (4/10k for
+    the searches, 6/20k for ``full``) when left as ``None``.
+    """
+    if strategy == "none":
+        return initial_sg, None, None
+    if strategy == "full":
+        chosen, stats = full_reduction_with_stats(
+            initial_sg, keep_conc=keep_conc,
+            size_frontier=6 if size_frontier is None else size_frontier,
+            weight=weight,
+            max_explored=20_000 if max_explored is None else max_explored)
+        return chosen, None, stats
+    if strategy not in ("beam", "best-first"):
+        raise ValueError(f"unknown strategy {strategy!r}; "
+                         f"expected one of {STRATEGIES}")
+    exploration = reduce_concurrency(
+        initial_sg, keep_conc=keep_conc,
+        size_frontier=4 if size_frontier is None else size_frontier,
+        weight=weight,
+        max_explored=10_000 if max_explored is None else max_explored,
+        strategy=strategy)
+    return exploration.best, exploration, exploration.stats
+
+
+def run_flow_stg(stg: Optional[STG],
+                 strategy: str = "best-first",
+                 keep_conc: Iterable[Tuple[str, str]] = (),
+                 size_frontier: Optional[int] = None,
+                 weight: float = 0.5,
+                 max_explored: Optional[int] = None,
+                 delays: DelayModel = TABLE1_DELAYS,
+                 max_csc_signals: int = 4,
+                 library: Library = DEFAULT_LIBRARY,
+                 resynthesise: bool = False,
+                 name: Optional[str] = None,
+                 spec: Optional[PartialSpec] = None,
+                 initial_sg: Optional[StateGraph] = None) -> FlowResult:
+    """The Fig. 4 pipeline from a complete STG (stages 2-7).
+
+    This is the entry point the sweep subsystem drives: one call evaluates
+    one design point (``strategy`` x ``weight`` x ``keep_conc``).  Passing a
+    pre-generated ``initial_sg`` skips SG generation (sweep workers cache
+    the SG per spec).
+    """
+    if initial_sg is None:
+        if stg is None:
+            raise ValueError("run_flow_stg needs an STG or a pre-generated SG")
+        initial_sg = generate_sg(stg)
+    chosen, exploration, stats = reduce_sg(
+        initial_sg, strategy=strategy, keep_conc=keep_conc,
+        size_frontier=size_frontier, weight=weight, max_explored=max_explored)
+    report = implement(chosen,
+                       name=name or (stg.name if stg is not None
+                                     else initial_sg.name),
+                       delays=delays, max_csc_signals=max_csc_signals,
+                       library=library, resynthesise=resynthesise)
+    return FlowResult(spec=spec, expanded=stg, initial_sg=initial_sg,
+                      exploration=exploration, report=report,
+                      reduction_stats=stats)
 
 
 def run_flow(spec: PartialSpec,
@@ -143,8 +223,10 @@ def run_flow(spec: PartialSpec,
              keep_conc: Iterable[Tuple[str, str]] = (),
              reduce: bool = True,
              full: bool = False,
-             size_frontier: int = 4,
+             strategy: str = "best-first",
+             size_frontier: Optional[int] = None,
              weight: float = 0.5,
+             max_explored: Optional[int] = None,
              delays: DelayModel = TABLE1_DELAYS,
              max_csc_signals: int = 4,
              library: Library = DEFAULT_LIBRARY,
@@ -154,25 +236,20 @@ def run_flow(spec: PartialSpec,
 
     ``reduce=False`` keeps maximal concurrency (the "Max. concurrency" rows);
     ``full=True`` drives concurrency as low as validity allows (the "Full
-    reduction" row).  Otherwise the Fig. 9 beam search runs with the given
-    frontier size and weight ``W``.
+    reduction" row).  Otherwise ``strategy`` selects the Fig. 9 beam or the
+    best-first search, run with the given frontier size and weight ``W``.
     """
+    if not reduce:
+        strategy = "none"
+    elif full:
+        strategy = "full"
     expanded = expand(spec, phases=phases, extra_constraints=extra_constraints)
-    initial_sg = generate_sg(expanded)
-    exploration: Optional[ExplorationResult] = None
-    chosen = initial_sg
-    if reduce and full:
-        chosen = full_reduction(initial_sg, keep_conc=keep_conc)
-    elif reduce:
-        exploration = reduce_concurrency(initial_sg, keep_conc=keep_conc,
-                                         size_frontier=size_frontier,
-                                         weight=weight)
-        chosen = exploration.best
-    report = implement(chosen, name=name or spec.name, delays=delays,
-                       max_csc_signals=max_csc_signals, library=library,
-                       resynthesise=resynthesise)
-    return FlowResult(spec=spec, expanded=expanded, initial_sg=initial_sg,
-                      exploration=exploration, report=report)
+    return run_flow_stg(expanded, strategy=strategy, keep_conc=keep_conc,
+                        size_frontier=size_frontier, weight=weight,
+                        max_explored=max_explored, delays=delays,
+                        max_csc_signals=max_csc_signals, library=library,
+                        resynthesise=resynthesise,
+                        name=name or spec.name, spec=spec)
 
 
 def implement_stg(stg: STG, name: Optional[str] = None,

@@ -6,6 +6,13 @@ candidates (by the heuristic cost) survive to the next level.  Because every
 step strictly reduces concurrency, the search terminates when no reduction
 applies.  The best SG over *everything explored* (including the input) is
 returned -- reduction is an optimization, not an obligation.
+
+Accounting is strategy-independent: every strategy fills in the same
+:class:`ExplorationStats`, where ``explored`` always means the number of
+*distinct* configurations whose cost was evaluated (the input included) and
+``expanded`` the subset whose successors were generated.  The
+``max_explored`` budget caps ``explored`` and is enforced inside the
+expansion loops, so a single wide level cannot blow past it.
 """
 
 from __future__ import annotations
@@ -38,13 +45,34 @@ def _keeps_concurrency(sg: StateGraph,
 
 @dataclass
 class ExplorationStep:
-    """One accepted reduction in the search history."""
+    """One new best-so-far configuration in the search history."""
 
     level: int
     before: str
     delayed: str
     cost: float
     states: int
+
+
+@dataclass(frozen=True)
+class ExplorationStats:
+    """Strategy-independent accounting of one exploration run.
+
+    ``explored`` counts the *distinct* configurations whose cost was
+    evaluated, the input configuration included; ``expanded`` counts the
+    subset whose successors were generated.  The numbers mean exactly the
+    same thing for ``beam``, ``best-first`` and ``full``, so sweep reports
+    are comparable across strategies.  ``levels`` is beam levels for the
+    level-by-level strategies and expansion steps for best-first;
+    ``capped`` records whether the ``max_explored`` budget stopped the
+    search before it converged.
+    """
+
+    strategy: str
+    explored: int
+    expanded: int
+    levels: int
+    capped: bool
 
 
 @dataclass
@@ -57,6 +85,7 @@ class ExplorationResult:
     explored_count: int
     levels: int
     history: List[ExplorationStep] = field(default_factory=list)
+    stats: Optional[ExplorationStats] = None
 
     @property
     def improved(self) -> bool:
@@ -104,49 +133,60 @@ def reduce_concurrency(sg: StateGraph,
 
     initial_cost = cost(sg)
     # Only *expanded* configurations are closed; a candidate pruned from one
-    # level's frontier may be regenerated along a better path later.
-    expanded: Set[frozenset] = set()
-    generated = 0
+    # level's frontier may be regenerated along a better path later.  The
+    # ``seen`` set exists purely for accounting: ``max_explored`` budgets
+    # distinct cost evaluations, not generation events.
+    seen: Set[tuple] = {_signature(sg)}
+    expanded: Set[tuple] = set()
+    capped = False
     best, best_cost = sg, initial_cost
     frontier: List[StateGraph] = [sg]
     history: List[ExplorationStep] = []
     level = 0
 
-    while frontier and (max_levels is None or level < max_levels):
+    while frontier and not capped and (max_levels is None or level < max_levels):
         level += 1
-        candidates: Dict[frozenset, Tuple[float, StateGraph, str, str]] = {}
+        candidates: Dict[tuple, Tuple[float, StateGraph, str, str]] = {}
         for current in frontier:
             signature = _signature(current)
             if signature in expanded:
                 continue
             expanded.add(signature)
             for before, delayed in sorted(reducible_pairs(current, preserved)):
+                if len(seen) >= max_explored:
+                    capped = True
+                    break
                 result = forward_reduction(current, delayed, before)
                 if not result.valid:
                     continue
                 if preserved and not _keeps_concurrency(result.sg, preserved):
                     continue
                 child_signature = _signature(result.sg)
+                seen.add(child_signature)
                 if child_signature in expanded or child_signature in candidates:
                     continue
-                generated += 1
                 candidates[child_signature] = (cost(result.sg), result.sg,
                                                before, delayed)
-        if not candidates or len(expanded) >= max_explored:
+            if capped:
+                break
+        if not candidates:
             break
         survivors = sorted(candidates.values(), key=lambda item: item[0])
         survivors = survivors[:size_frontier]
         for value, candidate, before, delayed in survivors:
-            history.append(ExplorationStep(level, before, delayed, value,
-                                           len(candidate)))
             if value < best_cost:
                 best, best_cost = candidate, value
+                history.append(ExplorationStep(level, before, delayed, value,
+                                               len(candidate)))
         frontier = [candidate for _, candidate, _, _ in survivors]
 
+    stats = ExplorationStats(strategy="beam", explored=len(seen),
+                             expanded=len(expanded), levels=level,
+                             capped=capped)
     return ExplorationResult(best=best, best_cost=best_cost,
                              initial_cost=initial_cost,
-                             explored_count=len(expanded) + generated,
-                             levels=level, history=history)
+                             explored_count=stats.explored,
+                             levels=level, history=history, stats=stats)
 
 
 def _best_first(sg: StateGraph,
@@ -164,11 +204,13 @@ def _best_first(sg: StateGraph,
     best, best_cost = sg, initial_cost
     counter = 0
     heap: List[Tuple[float, int, StateGraph]] = [(initial_cost, counter, sg)]
-    expanded: Set[frozenset] = set()
+    seen: Set[tuple] = {_signature(sg)}
+    expanded: Set[tuple] = set()
+    capped = False
     history: List[ExplorationStep] = []
     stale = 0
 
-    while heap and len(expanded) < max_explored and stale < patience:
+    while heap and not capped and stale < patience:
         value, _, current = heapq.heappop(heap)
         signature = _signature(current)
         if signature in expanded:
@@ -176,6 +218,9 @@ def _best_first(sg: StateGraph,
         expanded.add(signature)
         improved = False
         for before, delayed in sorted(reducible_pairs(current, preserved)):
+            if len(seen) >= max_explored:
+                capped = True
+                break
             result = forward_reduction(current, delayed, before)
             if not result.valid:
                 continue
@@ -184,6 +229,7 @@ def _best_first(sg: StateGraph,
             child_signature = _signature(result.sg)
             if child_signature in expanded:
                 continue
+            seen.add(child_signature)
             child_cost = cost(result.sg)
             counter += 1
             heapq.heappush(heap, (child_cost, counter, result.sg))
@@ -194,10 +240,71 @@ def _best_first(sg: StateGraph,
                                                child_cost, len(result.sg)))
         stale = 0 if improved else stale + 1
 
+    stats = ExplorationStats(strategy="best-first", explored=len(seen),
+                             expanded=len(expanded), levels=len(expanded),
+                             capped=capped)
     return ExplorationResult(best=best, best_cost=best_cost,
                              initial_cost=initial_cost,
-                             explored_count=len(expanded) + len(heap),
-                             levels=len(expanded), history=history)
+                             explored_count=stats.explored,
+                             levels=len(expanded), history=history,
+                             stats=stats)
+
+
+def full_reduction_with_stats(sg: StateGraph,
+                              keep_conc: Iterable[Tuple[str, str]] = (),
+                              size_frontier: int = 6,
+                              weight: float = 0.5,
+                              cost_function: Optional[CostFunction] = None,
+                              max_explored: int = 20_000,
+                              ) -> Tuple[StateGraph, ExplorationStats]:
+    """:func:`full_reduction` plus the unified exploration accounting."""
+    cost = cost_function or CostFunction(weight=weight)
+    preserved = frozenset(normalise_keep_conc(sg, keep_conc))
+    seen: Set[tuple] = {_signature(sg)}
+    expanded: Set[tuple] = set()
+    capped = False
+    frontier: List[StateGraph] = [sg]
+    best_terminal: Optional[StateGraph] = None
+    best_terminal_cost = float("inf")
+    levels = 0
+
+    while frontier and not capped:
+        levels += 1
+        candidates: Dict[tuple, Tuple[float, StateGraph]] = {}
+        for current in frontier:
+            signature = _signature(current)
+            if signature in expanded:
+                continue
+            expanded.add(signature)
+            children = 0
+            for before, delayed in sorted(reducible_pairs(current, preserved)):
+                if len(seen) >= max_explored:
+                    capped = True
+                    break
+                result = forward_reduction(current, delayed, before)
+                if not result.valid:
+                    continue
+                if preserved and not _keeps_concurrency(result.sg, preserved):
+                    continue
+                children += 1
+                child_signature = _signature(result.sg)
+                seen.add(child_signature)
+                if child_signature in expanded or child_signature in candidates:
+                    continue
+                candidates[child_signature] = (cost(result.sg), result.sg)
+            if capped:
+                break
+            if children == 0:
+                value = cost(current)
+                if value < best_terminal_cost:
+                    best_terminal, best_terminal_cost = current, value
+        survivors = sorted(candidates.values(), key=lambda item: item[0])
+        frontier = [candidate for _, candidate in survivors[:size_frontier]]
+
+    stats = ExplorationStats(strategy="full", explored=len(seen),
+                             expanded=len(expanded), levels=levels,
+                             capped=capped)
+    return (best_terminal if best_terminal is not None else sg), stats
 
 
 def full_reduction(sg: StateGraph,
@@ -215,37 +322,7 @@ def full_reduction(sg: StateGraph,
     ``size_frontier`` avoids the greedy trap where an early cheap-looking
     reduction forecloses the globally best interleaving.
     """
-    cost = cost_function or CostFunction(weight=weight)
-    preserved = frozenset(normalise_keep_conc(sg, keep_conc))
-    expanded: Set[frozenset] = set()
-    frontier: List[StateGraph] = [sg]
-    best_terminal: Optional[StateGraph] = None
-    best_terminal_cost = float("inf")
-
-    while frontier and len(expanded) < max_explored:
-        candidates: Dict[frozenset, Tuple[float, StateGraph]] = {}
-        for current in frontier:
-            signature = _signature(current)
-            if signature in expanded:
-                continue
-            expanded.add(signature)
-            children = 0
-            for before, delayed in sorted(reducible_pairs(current, preserved)):
-                result = forward_reduction(current, delayed, before)
-                if not result.valid:
-                    continue
-                if preserved and not _keeps_concurrency(result.sg, preserved):
-                    continue
-                children += 1
-                child_signature = _signature(result.sg)
-                if child_signature in expanded or child_signature in candidates:
-                    continue
-                candidates[child_signature] = (cost(result.sg), result.sg)
-            if children == 0:
-                value = cost(current)
-                if value < best_terminal_cost:
-                    best_terminal, best_terminal_cost = current, value
-        survivors = sorted(candidates.values(), key=lambda item: item[0])
-        frontier = [candidate for _, candidate in survivors[:size_frontier]]
-
-    return best_terminal if best_terminal is not None else sg
+    best, _ = full_reduction_with_stats(
+        sg, keep_conc=keep_conc, size_frontier=size_frontier, weight=weight,
+        cost_function=cost_function, max_explored=max_explored)
+    return best

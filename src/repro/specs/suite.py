@@ -9,7 +9,8 @@ choice-free, consistent and speed-independent by construction.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from functools import partial
+from typing import Callable, Dict, List
 
 from ..petri.parser import parse_stg
 from ..petri.stg import STG
@@ -127,3 +128,13 @@ def load(name: str) -> STG:
 def load_all() -> Dict[str, STG]:
     """All suite benchmarks, parsed."""
     return {name: load(name) for name in suite_names()}
+
+
+def sweep_sources() -> Dict[str, Callable[[], STG]]:
+    """STG factories for the sweep registry (:mod:`repro.sweep.grid`).
+
+    Factories rather than parsed STGs: sweep workers build specs lazily in
+    their own process, so the suite rides through the parallel design-space
+    sweep like the paper's own benchmarks do.
+    """
+    return {name: partial(load, name) for name in suite_names()}

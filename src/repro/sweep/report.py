@@ -1,0 +1,75 @@
+"""Deterministic reporters for sweep results (JSON, CSV, markdown).
+
+Rows are plain dicts with a fixed column set; every format renders them in
+grid order with stable key ordering and no timestamps, so two runs that
+explored the same grid produce byte-identical files -- the property the
+serial-vs-parallel and cold-vs-warm checks assert on.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Dict, List, Sequence
+
+#: Column order of the tabular formats (and the JSON "columns" header).
+COLUMNS = (
+    "spec", "variant", "strategy", "weight", "frontier", "keep",
+    "states_max", "states", "csc_signals", "csc_resolved",
+    "area", "cycle_time", "input_events",
+    "explored", "expanded", "levels", "capped",
+)
+
+FORMATS = ("json", "csv", "md")
+
+
+def to_json(rows: Sequence[Dict[str, object]]) -> str:
+    payload = {"columns": list(COLUMNS), "rows": list(rows)}
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+def to_csv(rows: Sequence[Dict[str, object]]) -> str:
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(COLUMNS)
+    for row in rows:
+        writer.writerow(["" if row.get(column) is None else row.get(column)
+                         for column in COLUMNS])
+    return buffer.getvalue()
+
+
+def _cell(value) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:g}"
+    return str(value)
+
+
+def to_markdown(rows: Sequence[Dict[str, object]]) -> str:
+    table: List[List[str]] = [list(COLUMNS)]
+    for row in rows:
+        table.append([_cell(row.get(column)) for column in COLUMNS])
+    widths = [max(len(line[i]) for line in table) for i in range(len(COLUMNS))]
+    lines = []
+    for line_number, line in enumerate(table):
+        lines.append("| " + " | ".join(
+            cell.ljust(width) for cell, width in zip(line, widths)) + " |")
+        if line_number == 0:
+            lines.append("|" + "|".join("-" * (width + 2)
+                                        for width in widths) + "|")
+    return "\n".join(lines) + "\n"
+
+
+def render(rows: Sequence[Dict[str, object]], fmt: str = "md") -> str:
+    """Render rows in one of :data:`FORMATS`."""
+    if fmt == "json":
+        return to_json(rows)
+    if fmt == "csv":
+        return to_csv(rows)
+    if fmt == "md":
+        return to_markdown(rows)
+    raise ValueError(f"unknown format {fmt!r}; expected one of {FORMATS}")

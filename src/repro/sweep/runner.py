@@ -1,0 +1,211 @@
+"""Sharded execution of a sweep grid over ``multiprocessing``.
+
+The parent process resolves store hits, partitions the remaining points
+into deterministic spec-coherent chunks, and hands chunks to a worker pool
+(``jobs=1`` runs the very same chunk function in-process).  Workers cache
+the generated state graph per spec -- and, through the process-global
+engine memos, everything downstream of it -- so a chunk of same-spec points
+shares work the way a serial run does.  Results come back tagged with their
+grid index and are merged in grid order, which makes parallel output
+byte-identical to serial output regardless of scheduling; all wall-clock
+numbers live on the :class:`SweepOutcome`, never in the rows.
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .. import engine
+from ..flow import FlowResult, run_flow_stg
+from ..sg.generator import generate_sg
+from ..sg.graph import StateGraph
+from .grid import SweepGrid, SweepPoint, spec_registry
+from .store import ResultStore, graph_digest
+
+#: Worker-side cache: spec name -> generated state graph.  Module-global so
+#: it survives across chunks dispatched to the same worker process (and is
+#: inherited for free under the ``fork`` start method).  Registered with the
+#: engine so ``engine.clear_caches()`` resets it like every other pure memo
+#: (the benchmarks rely on that for honest cold-phase timings).
+_SG_CACHE: Dict[str, StateGraph] = engine.register_cache({})
+
+
+def _spec_sg(spec: str) -> StateGraph:
+    sg = _SG_CACHE.get(spec)
+    if sg is None:
+        factory = spec_registry()[spec]
+        sg = generate_sg(factory())
+        _SG_CACHE[spec] = sg
+    return sg
+
+
+def _number(value) -> Optional[float]:
+    return None if value is None else float(value)
+
+
+def evaluate_point(point: SweepPoint) -> Dict[str, object]:
+    """Run one design point through the flow; returns a deterministic row.
+
+    Rows contain only reproducible quantities (no timings, no cache
+    provenance): everything here must be byte-identical between serial and
+    parallel runs and between cold and warm store reads.
+    """
+    initial_sg = _spec_sg(point.spec)
+    flow: FlowResult = run_flow_stg(
+        None, strategy=point.strategy, keep_conc=point.keep,
+        size_frontier=point.frontier,
+        weight=0.5 if point.weight is None else point.weight,
+        max_explored=point.max_explored,
+        name=point.label(), initial_sg=initial_sg)
+    report = flow.report
+    stats = flow.reduction_stats or (
+        flow.exploration.stats if flow.exploration is not None else None)
+    return {
+        "spec": point.spec,
+        "variant": point.variant,
+        "strategy": point.strategy,
+        "weight": point.weight,
+        "frontier": point.frontier,
+        "keep": ";".join(",".join(pair) for pair in point.keep),
+        "states_max": len(flow.initial_sg),
+        "states": len(report.sg),
+        "csc_signals": report.csc_signal_count,
+        "csc_resolved": report.csc_resolved,
+        "area": _number(report.area),
+        "cycle_time": _number(report.cycle_time),
+        "input_events": report.input_event_count,
+        "explored": None if stats is None else stats.explored,
+        "expanded": None if stats is None else stats.expanded,
+        "levels": None if stats is None else stats.levels,
+        "capped": None if stats is None else stats.capped,
+    }
+
+
+def _run_chunk(chunk: List[Tuple[int, SweepPoint]]
+               ) -> List[Tuple[int, Dict[str, object]]]:
+    """Evaluate one chunk of (grid index, point) work items."""
+    return [(index, evaluate_point(point)) for index, point in chunk]
+
+
+def make_chunks(items: Sequence[Tuple[int, SweepPoint]],
+                jobs: int,
+                chunk_size: Optional[int] = None
+                ) -> List[List[Tuple[int, SweepPoint]]]:
+    """Deterministic spec-coherent partitioning of pending work.
+
+    Points of one spec land in contiguous chunks (so a worker's SG and memo
+    caches get reuse), but each spec's run is split into at most ``jobs``
+    pieces (so one heavyweight spec cannot serialize the whole sweep).
+    Chunks are ordered heaviest-spec-first as a cheap longest-processing-time
+    heuristic for the pool's dynamic scheduling; "heavy" means the SG size
+    when the parent happens to have it cached (store runs compute digests),
+    else the group's point count.  Ordering only shapes scheduling -- rows
+    are merged by grid index, so it never affects results.
+    """
+    groups: Dict[str, List[Tuple[int, SweepPoint]]] = {}
+    for item in items:
+        groups.setdefault(item[1].spec, []).append(item)
+
+    def weight(group: List[Tuple[int, SweepPoint]]) -> tuple:
+        spec = group[0][1].spec
+        cached = _SG_CACHE.get(spec)
+        return (-(len(cached) if cached is not None else 0),
+                -len(group), spec)
+
+    sized = sorted(groups.values(), key=weight)
+    chunks: List[List[Tuple[int, SweepPoint]]] = []
+    for group in sized:
+        size = chunk_size or max(1, math.ceil(len(group) / max(1, jobs)))
+        for start in range(0, len(group), size):
+            chunks.append(group[start:start + size])
+    return chunks
+
+
+@dataclass
+class SweepOutcome:
+    """Everything one sweep run produced, rows in grid order."""
+
+    points: List[SweepPoint]
+    rows: List[Dict[str, object]]
+    computed: int
+    cached: int
+    jobs: int
+    seconds: float
+
+    @property
+    def points_per_second(self) -> float:
+        return len(self.points) / self.seconds if self.seconds > 0 else 0.0
+
+
+def run_sweep(grid: SweepGrid,
+              jobs: int = 1,
+              store: Optional[ResultStore] = None,
+              chunk_size: Optional[int] = None) -> SweepOutcome:
+    """Evaluate every point of ``grid``; returns rows in grid order.
+
+    With a ``store``, completed points are read back instead of recomputed
+    and fresh results are persisted, so a warm re-run (or an overlapping
+    grid) does zero exploration.  ``jobs > 1`` shards the pending points
+    over a process pool; the merged rows are byte-identical to ``jobs=1``.
+    """
+    if jobs < 1:
+        raise ValueError("jobs must be at least 1")
+    started = time.perf_counter()
+    points = grid.points
+    rows: List[Optional[Dict[str, object]]] = [None] * len(points)
+    keys: List[Optional[str]] = [None] * len(points)
+    pending: List[Tuple[int, SweepPoint]] = []
+    cached = 0
+
+    if store is not None:
+        digests: Dict[str, str] = {}
+        for index, point in enumerate(points):
+            digest = digests.get(point.spec)
+            if digest is None:
+                digest = graph_digest(_spec_sg(point.spec))
+                digests[point.spec] = digest
+            keys[index] = store.key(point.config(), digest)
+            entry = store.get(keys[index])
+            if entry is not None:
+                # The display name is not part of the key: re-label the
+                # stored row so overlapping grids that spell the same
+                # config with another variant name stay byte-identical.
+                row = dict(entry["row"])
+                row["variant"] = point.variant
+                rows[index] = row
+                cached += 1
+            else:
+                pending.append((index, point))
+    else:
+        pending = list(enumerate(points))
+
+    def merge(chunk_result: List[Tuple[int, Dict[str, object]]]) -> None:
+        # Persist as results arrive, not after the whole sweep: an
+        # interrupted run keeps every point completed so far.
+        for index, row in chunk_result:
+            rows[index] = row
+            if store is not None:
+                store.put(keys[index], {
+                    "config": points[index].config(),
+                    "variant": points[index].variant,
+                    "row": row,
+                })
+
+    if pending:
+        chunks = make_chunks(pending, jobs, chunk_size)
+        if jobs == 1 or len(chunks) == 1:
+            for chunk in chunks:
+                merge(_run_chunk(chunk))
+        else:
+            with multiprocessing.Pool(processes=min(jobs, len(chunks))) as pool:
+                for chunk_result in pool.imap_unordered(_run_chunk, chunks):
+                    merge(chunk_result)
+
+    assert all(row is not None for row in rows)
+    return SweepOutcome(points=points, rows=rows, computed=len(pending),
+                        cached=cached, jobs=jobs,
+                        seconds=time.perf_counter() - started)

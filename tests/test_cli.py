@@ -68,6 +68,69 @@ class TestSynth:
         with pytest.raises(SystemExit):
             main(["synth", lr_file, "--keep", "li-"])
 
+    def test_internal_delay_defaults_to_output_delay(self, lr_file, capsys):
+        # --no-reduce leaves CSC conflicts, so internal state signals are
+        # inserted and their delay shows up on the critical cycle.
+        assert main(["synth", lr_file, "--no-reduce"]) == 0
+        implicit = capsys.readouterr().out
+        assert main(["synth", lr_file, "--no-reduce",
+                     "--internal-delay", "1"]) == 0
+        explicit = capsys.readouterr().out
+        assert implicit == explicit
+
+    def test_internal_delay_flag_changes_cycle(self, lr_file, capsys):
+        assert main(["synth", lr_file, "--no-reduce"]) == 0
+        fast = capsys.readouterr().out
+        assert main(["synth", lr_file, "--no-reduce",
+                     "--internal-delay", "5"]) == 0
+        slow = capsys.readouterr().out
+        cycle = lambda out: [line for line in out.splitlines()
+                             if line.startswith("critical cycle")]
+        assert cycle(fast) != cycle(slow)
+        # the output delay is untouched: only the CSC-signal events slowed
+        assert "CSC signals inserted: 2" in slow
+
+
+class TestKeepRoundtrip:
+    def test_keep_preserved_through_reduce_output(self, lr_file, tmp_path,
+                                                  capsys):
+        from repro.sg.regions import are_concurrent
+        out_path = tmp_path / "kept.g"
+        assert main(["reduce", lr_file, "--full", "--keep", "li-,ri-",
+                     "-o", str(out_path)]) == 0
+        sg = generate_sg(read_stg(str(out_path)))
+        assert are_concurrent(sg, "li-", "ri-")
+
+
+class TestSweep:
+    def test_sweep_two_specs(self, capsys):
+        assert main(["sweep", "--specs", "lr,fifo_cell",
+                     "--strategies", "none,full", "--format", "csv"]) == 0
+        out = capsys.readouterr().out
+        lines = [line for line in out.splitlines() if line]
+        # header + (none, full, 4 lr keep variants) + (none, full) for fifo
+        assert lines[0].startswith("spec,")
+        assert len(lines) == 1 + 6 + 2
+
+    def test_sweep_store_roundtrip(self, tmp_path, capsys):
+        argv = ["sweep", "--specs", "fifo_cell", "--strategies", "none,full",
+                "--store", str(tmp_path / "store"), "--format", "json"]
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        assert main(argv) == 0
+        warm = capsys.readouterr().out
+        assert cold == warm
+
+    def test_sweep_report_file(self, tmp_path, capsys):
+        out_path = tmp_path / "report.md"
+        assert main(["sweep", "--specs", "half", "--strategies", "none",
+                     "-o", str(out_path)]) == 0
+        assert "| spec" in out_path.read_text()
+
+    def test_sweep_unknown_spec_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--specs", "nosuch"])
+
 
 class TestReduce:
     def test_reduce_roundtrip(self, lr_file, tmp_path, capsys):

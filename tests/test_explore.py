@@ -3,7 +3,9 @@
 import pytest
 
 from repro.reduction.cost import CostBreakdown, CostFunction
-from repro.reduction.explore import (ExplorationResult, full_reduction,
+from repro.reduction.explore import (ExplorationResult, ExplorationStats,
+                                     full_reduction,
+                                     full_reduction_with_stats,
                                      reduce_concurrency)
 from repro.sg.generator import generate_sg
 from repro.sg.properties import csc_conflicts, is_speed_independent
@@ -90,6 +92,55 @@ class TestReduceConcurrency:
     def test_budget_limits_exploration(self, lr_max):
         small = reduce_concurrency(lr_max, max_explored=5)
         assert small.levels <= 5
+
+
+class TestExplorationStats:
+    """``explored`` means the same thing for every strategy: distinct
+    configurations whose cost was evaluated, the input included."""
+
+    def test_stats_attached_and_consistent(self, lr_max):
+        for strategy in ("beam", "best-first"):
+            result = reduce_concurrency(lr_max, strategy=strategy)
+            stats = result.stats
+            assert isinstance(stats, ExplorationStats)
+            assert stats.strategy == strategy
+            assert result.explored_count == stats.explored
+            assert 1 <= stats.expanded <= stats.explored
+            assert not stats.capped
+
+    def test_full_reduction_stats(self, lr_max):
+        best, stats = full_reduction_with_stats(lr_max)
+        assert stats.strategy == "full"
+        assert stats.expanded <= stats.explored
+        assert len(best) == 8
+        assert full_reduction(lr_max).signature() == best.signature()
+
+    def test_beam_cap_enforced_inside_level(self, lr_max):
+        # The first level alone generates more candidates than this budget;
+        # the cap must stop generation mid-level, not after it.
+        result = reduce_concurrency(lr_max, strategy="beam", max_explored=3)
+        assert result.stats.capped
+        assert result.explored_count <= 3
+
+    def test_best_first_cap_counts_distinct_configs(self, lr_max):
+        result = reduce_concurrency(lr_max, max_explored=5)
+        assert result.stats.capped
+        assert result.explored_count <= 5
+
+    def test_full_reduction_cap_enforced_inside_level(self, lr_max):
+        best, stats = full_reduction_with_stats(lr_max, max_explored=4)
+        assert stats.capped
+        assert stats.explored <= 4
+        assert best is not None
+
+    def test_history_records_improvements_only(self, lr_max):
+        for strategy in ("beam", "best-first"):
+            result = reduce_concurrency(lr_max, strategy=strategy)
+            costs = [step.cost for step in result.history]
+            assert all(late < early for early, late in zip(costs, costs[1:]))
+            assert all(cost < result.initial_cost for cost in costs)
+            if result.history:
+                assert result.history[-1].cost == result.best_cost
 
 
 class TestFullReduction:
