@@ -7,6 +7,7 @@ structure (e.g. the fully reduced LR-process really is two wires).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
@@ -125,7 +126,13 @@ class Netlist:
     def driver_of(self, net: str) -> Optional[str]:
         return self._drivers.get(net)
 
-    def nets(self) -> Set[str]:
+    def nets(self) -> List[str]:
+        """All referenced net names, sorted.
+
+        The sorted order (rather than set iteration order) keeps structural
+        dumps, goldens and verification certificates byte-stable across
+        hash seeds.
+        """
         nets: Set[str] = set(self.primary_inputs) | set(self.primary_outputs)
         for gate in self.gates:
             nets.update(gate.inputs)
@@ -133,37 +140,78 @@ class Netlist:
         for alias in self.aliases:
             nets.add(alias.source)
             nets.add(alias.target)
-        return nets
+        return sorted(nets)
 
     def sequential_gates(self) -> List[Gate]:
         return [gate for gate in self.gates if gate.cell.sequential]
 
-    def depth_of(self, net: str, _visiting: Optional[Set[str]] = None) -> float:
+    def depth_of(self, net: str) -> float:
         """Worst-case delay from any primary input to ``net``.
 
-        Feedback loops (C elements, combinational feedback of complex gates)
-        are broken at sequential cells and at revisited nets.
+        Paths are broken at sequential cells (a C element's output starts a
+        new path at the cell's own delay).  A *combinational* feedback loop
+        -- the SOP feedback of a complex-gate implementation, which makes
+        SI netlists cyclic -- has no finite worst case: every net on or
+        downstream of one reports ``math.inf``, the documented sentinel,
+        instead of recursing forever or silently under-reporting.
         """
-        if _visiting is None:
-            _visiting = set()
-        if net in _visiting or net in self.primary_inputs:
-            return 0.0
-        driver = self._drivers.get(net)
-        if driver is None:
-            return 0.0
-        _visiting = _visiting | {net}
-        if driver.startswith("alias:"):
-            return self.depth_of(driver[len("alias:"):], _visiting)
-        gate = next(g for g in self.gates if g.name == driver)
-        inputs_depth = max((self.depth_of(i, _visiting) for i in gate.inputs),
-                           default=0.0)
-        return inputs_depth + gate.cell.delay
+        gates_by_name = {gate.name: gate for gate in self.gates}
+        done: Dict[str, float] = {}
+        on_path: Set[str] = set()
+        stack: List[str] = [net]
+        while stack:
+            current = stack[-1]
+            if current in done:
+                stack.pop()
+                continue
+            driver = self._drivers.get(current)
+            if current in self.primary_inputs or driver is None:
+                done[current] = 0.0
+                stack.pop()
+                continue
+            if driver.startswith("alias:"):
+                dependencies = [driver[len("alias:"):]]
+                delay = 0.0
+            else:
+                gate = gates_by_name[driver]
+                if gate.cell.sequential:
+                    done[current] = gate.cell.delay
+                    stack.pop()
+                    continue
+                dependencies = list(gate.inputs)
+                delay = gate.cell.delay
+            if current not in on_path:
+                # First visit: a dependency on the DFS path (the node
+                # itself included) is a back edge, i.e. a combinational
+                # cycle.
+                on_path.add(current)
+                if any(d in on_path for d in dependencies):
+                    done[current] = math.inf
+                    on_path.discard(current)
+                    stack.pop()
+                    continue
+                stack.extend(d for d in dependencies if d not in done)
+            else:
+                on_path.discard(current)
+                stack.pop()
+                done[current] = delay + max(
+                    (done[d] for d in dependencies if d in done),
+                    default=0.0)
+        return done[net]
 
     def to_verilog_like(self) -> str:
-        """A human-readable structural dump (not strict Verilog)."""
+        """A human-readable structural dump (not strict Verilog).
+
+        Deterministic: interface and driver lines follow declaration order,
+        the wire declaration follows the sorted order of :meth:`nets`.
+        """
         lines = [f"module {self.name} (",
                  f"  input  {', '.join(self.primary_inputs)};",
                  f"  output {', '.join(self.primary_outputs)};", ")"]
+        interface = set(self.primary_inputs) | set(self.primary_outputs)
+        wires = [net for net in self.nets() if net not in interface]
+        if wires:
+            lines.append(f"  wire   {', '.join(wires)};")
         for alias in self.aliases:
             lines.append(f"  assign {alias.target} = {alias.source};")
         for gate in self.gates:

@@ -7,22 +7,29 @@ Usage (also via ``python -m repro``)::
     python -m repro synth  spec.g [--full] [--no-reduce] [--keep li-,ri-]
                                    [-W 0.5] [--max-csc 4]
     python -m repro reduce spec.g [-o out.g]   # reduce + re-derive an STG
+    python -m repro verify spec.g [--strategies none,full] [--store DIR]
+                                   [--model atomic|structural]
     python -m repro sweep  [--specs lr,mmu] [--jobs 4] [--store DIR]
-                           [--format md|csv|json] [-o report.md]
+                           [--format md|csv|json] [-o report.md] [--verify]
 
 ``check``/``sg``/``synth``/``reduce`` read astg-style ``.g`` files (see
-``repro.petri.parser``); ``sweep`` runs the built-in benchmark registry
-through the whole Tables 1-2 design-space grid in parallel.
+``repro.petri.parser``); ``verify`` additionally accepts registry spec
+names (``repro verify half vme_read``) and checks the synthesized circuit
+of every requested reduction strategy against its specification; ``sweep``
+runs the built-in benchmark registry through the whole Tables 1-2
+design-space grid in parallel.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
 from typing import List, Optional
 
 from .encoding.csc import irresolvable_conflicts
-from .flow import implement
+from .flow import STRATEGIES, implement, reduce_sg
 from .petri.parser import read_stg, write_stg
 from .reduction.explore import full_reduction, reduce_concurrency
 from .sg.generator import generate_sg
@@ -127,7 +134,8 @@ def cmd_sweep(args: argparse.Namespace) -> int:
                            weights=weights,
                            frontier=args.frontier,
                            include_keep_variants=not args.no_keep_variants,
-                           max_explored=args.max_explored)
+                           max_explored=args.max_explored,
+                           verify=args.verify)
     except (KeyError, ValueError) as exc:
         raise SystemExit(str(exc))
     store = ResultStore(args.store) if args.store else None
@@ -143,6 +151,79 @@ def cmd_sweep(args: argparse.Namespace) -> int:
           f"{outcome.cached} cached, {outcome.seconds:.2f}s "
           f"({outcome.points_per_second:.1f} points/s, jobs={outcome.jobs})",
           file=sys.stderr)
+    return 0
+
+
+def _load_spec_sg(spec: str):
+    """(name, SG) from a ``.g`` path or a sweep-registry spec name."""
+    from .sweep.grid import spec_registry
+
+    if os.path.exists(spec):
+        stg = read_stg(spec)
+        return stg.name, generate_sg(stg)
+    registry = spec_registry()
+    factory = registry.get(spec)
+    if factory is None:
+        raise SystemExit(f"{spec!r} is neither a .g file nor a registry "
+                         f"spec; available: {sorted(registry)}")
+    return spec, generate_sg(factory())
+
+
+def cmd_verify(args: argparse.Namespace) -> int:
+    from .sweep.store import ResultStore
+    from .verify import verify_netlist
+    from .verify.certificate import skipped_report
+
+    strategies = _parse_csv(args.strategies) or list(STRATEGIES)
+    unknown = sorted(set(strategies) - set(STRATEGIES))
+    if unknown:
+        raise SystemExit(f"unknown strategy(ies) {unknown}; "
+                         f"expected a subset of {STRATEGIES}")
+    keep = _parse_keep(args.keep)
+    store = ResultStore(args.store) if args.store else None
+    reports = []
+    verified = cached_count = failures = skips = 0
+    for spec in args.specs:
+        name, initial_sg = _load_spec_sg(spec)
+        for strategy in strategies:
+            label = f"{name}/{strategy}"
+            chosen, _, _ = reduce_sg(initial_sg, strategy=strategy,
+                                     keep_conc=keep, weight=args.weight)
+            implementation = implement(chosen, name=label,
+                                       max_csc_signals=args.max_csc)
+            if implementation.circuit is None:
+                report = skipped_report(
+                    label, "no synthesized circuit (unresolved CSC or "
+                    "toggle specification)", model=args.model)
+                cached = False
+            else:
+                report, cached = verify_netlist(
+                    implementation.circuit.netlist,
+                    implementation.resolved_sg, model=args.model,
+                    max_states=args.max_states, name=label, store=store)
+            reports.append(report)
+            if report.skipped:
+                skips += 1
+            elif cached:
+                cached_count += 1
+            else:
+                verified += 1
+            if not report.ok and not report.skipped:
+                failures += 1
+            print(f"{label}: {report.summary()}")
+            for line in report.trace_lines():
+                print(f"    {line}")
+    if args.json:
+        payload = {"reports": [report.to_dict() for report in reports]}
+        with open(args.json, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {args.json}", file=sys.stderr)
+    print(f"{len(reports)} checks: {verified} verified, {cached_count} "
+          f"cached, {skips} skipped, {failures} failed", file=sys.stderr)
+    if failures:
+        return 1
+    if args.strict and skips:
+        return 1
     return 0
 
 
@@ -208,6 +289,36 @@ def build_parser() -> argparse.ArgumentParser:
     reduce_cmd.add_argument("-o", "--output", help="output .g path")
     reduce_cmd.set_defaults(func=cmd_reduce)
 
+    verify = sub.add_parser(
+        "verify",
+        help="synthesize and verify circuits against their specifications")
+    verify.add_argument("specs", nargs="+",
+                        help=".g files or registry spec names")
+    verify.add_argument("--strategies", metavar="S[,S...]",
+                        help="subset of none,beam,best-first,full "
+                             "(default: all)")
+    verify.add_argument("--keep", metavar="EV1,EV2[,...]",
+                        help="event pairs whose concurrency to preserve")
+    verify.add_argument("-W", "--weight", type=float, default=0.5,
+                        help="cost weight for the searched strategies")
+    verify.add_argument("--max-csc", type=int, default=4,
+                        help="state-signal insertion budget")
+    verify.add_argument("--model", choices=("atomic", "structural"),
+                        default="atomic",
+                        help="delay model: atomic complex-gate cones "
+                             "(default) or every 2-input gate separately")
+    verify.add_argument("--max-states", type=int, default=None,
+                        help="product state-space cap (default: "
+                             "repro.verify.DEFAULT_MAX_STATES)")
+    verify.add_argument("--store", metavar="DIR",
+                        help="certificate store; warm runs skip verified "
+                             "(netlist, spec) pairs")
+    verify.add_argument("--strict", action="store_true",
+                        help="treat skipped points (no circuit) as failures")
+    verify.add_argument("--json", metavar="PATH",
+                        help="write all certificates to a JSON file")
+    verify.set_defaults(func=cmd_verify)
+
     sweep = sub.add_parser("sweep",
                            help="parallel design-space sweep over the "
                                 "built-in benchmark grid (Tables 1-2)")
@@ -226,6 +337,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="per-point exploration budget override")
     sweep.add_argument("--no-keep-variants", action="store_true",
                        help="skip the named Keep_Conc rows (li || ri, ...)")
+    sweep.add_argument("--verify", action="store_true",
+                       help="gate-level verify every design point and add "
+                            "verdict columns to the report")
     sweep.add_argument("-j", "--jobs", type=int, default=1,
                        help="worker processes (default: 1, serial)")
     sweep.add_argument("--store", metavar="DIR",

@@ -12,7 +12,10 @@
    (:mod:`repro.circuit`);
 6. optional STG re-derivation for the reduced SG (:mod:`repro.sg.resynthesis`);
 7. performance analysis: critical cycle and input events on it
-   (:mod:`repro.timing`).
+   (:mod:`repro.timing`);
+8. optional gate-level verification of the synthesized netlist against the
+   resolved SG: conformance, hazard-freedom, deadlock-freedom and
+   semi-modularity (:mod:`repro.verify`, ``verify=True``).
 """
 
 from __future__ import annotations
@@ -36,6 +39,8 @@ from .sg.properties import check_implementability, csc_conflicts
 from .sg.resynthesis import ResynthesisError, resynthesise_stg
 from .timing.critical_cycle import CycleReport, TimingError, critical_cycle
 from .timing.delays import TABLE1_DELAYS, DelayModel
+from .verify.certificate import VerificationReport, skipped_report
+from .verify.conformance import DEFAULT_MAX_STATES, check_conformance
 
 
 @dataclass
@@ -51,6 +56,7 @@ class ImplementationReport:
     cycle: Optional[CycleReport]
     stg: Optional[STG] = None
     area_estimate: Optional[float] = None
+    verification: Optional[VerificationReport] = None
 
     @property
     def csc_signal_count(self) -> int:
@@ -72,6 +78,11 @@ class ImplementationReport:
     def input_event_count(self) -> Optional[int]:
         return self.cycle.input_event_count if self.cycle is not None else None
 
+    @property
+    def verified(self) -> Optional[bool]:
+        """True/False per the verification verdict; None when not verified."""
+        return None if self.verification is None else self.verification.ok
+
     def row(self) -> Tuple[str, Optional[float], int, Optional[float], Optional[int]]:
         """(circuit, area, #CSC, critical cycle, input events) as in the tables."""
         return (self.name, self.area, self.csc_signal_count,
@@ -83,8 +94,18 @@ def implement(sg: StateGraph, name: Optional[str] = None,
               max_csc_signals: int = 4,
               library: Library = DEFAULT_LIBRARY,
               resynthesise: bool = False,
-              exact_covers: bool = True) -> ImplementationReport:
-    """Resolve CSC, synthesize the circuit and measure it."""
+              exact_covers: bool = True,
+              verify: bool = False,
+              verify_model: str = "atomic",
+              verify_max_states: int = DEFAULT_MAX_STATES) -> ImplementationReport:
+    """Resolve CSC, synthesize the circuit and measure it.
+
+    With ``verify=True`` the synthesized netlist is checked against the
+    resolved SG (conformance, hazard-freedom, deadlock-freedom,
+    semi-modularity; see :mod:`repro.verify`) and the certificate lands on
+    :attr:`ImplementationReport.verification`.  Design points without a
+    circuit (unresolved CSC, toggle specs) get a ``skipped`` report.
+    """
     resolution = resolve_csc(sg, max_signals=max_csc_signals)
     circuit: Optional[CircuitImplementation] = None
     area_estimate: Optional[float] = None
@@ -110,6 +131,17 @@ def implement(sg: StateGraph, name: Optional[str] = None,
             stg = resynthesise_stg(resolution.sg)
         except ResynthesisError:
             stg = None
+    verification: Optional[VerificationReport] = None
+    if verify:
+        report_name = name or sg.name
+        if circuit is not None:
+            verification = check_conformance(
+                circuit.netlist, resolution.sg, model=verify_model,
+                max_states=verify_max_states, name=report_name)
+        else:
+            verification = skipped_report(
+                report_name, "no synthesized circuit (unresolved CSC or "
+                "toggle specification)", model=verify_model)
     return ImplementationReport(
         name=name or sg.name,
         sg=sg,
@@ -120,6 +152,7 @@ def implement(sg: StateGraph, name: Optional[str] = None,
         cycle=cycle,
         stg=stg,
         area_estimate=area_estimate,
+        verification=verification,
     )
 
 
@@ -192,7 +225,9 @@ def run_flow_stg(stg: Optional[STG],
                  resynthesise: bool = False,
                  name: Optional[str] = None,
                  spec: Optional[PartialSpec] = None,
-                 initial_sg: Optional[StateGraph] = None) -> FlowResult:
+                 initial_sg: Optional[StateGraph] = None,
+                 verify: bool = False,
+                 verify_model: str = "atomic") -> FlowResult:
     """The Fig. 4 pipeline from a complete STG (stages 2-7).
 
     This is the entry point the sweep subsystem drives: one call evaluates
@@ -211,7 +246,8 @@ def run_flow_stg(stg: Optional[STG],
                        name=name or (stg.name if stg is not None
                                      else initial_sg.name),
                        delays=delays, max_csc_signals=max_csc_signals,
-                       library=library, resynthesise=resynthesise)
+                       library=library, resynthesise=resynthesise,
+                       verify=verify, verify_model=verify_model)
     return FlowResult(spec=spec, expanded=stg, initial_sg=initial_sg,
                       exploration=exploration, report=report,
                       reduction_stats=stats)
@@ -231,7 +267,9 @@ def run_flow(spec: PartialSpec,
              max_csc_signals: int = 4,
              library: Library = DEFAULT_LIBRARY,
              resynthesise: bool = False,
-             name: Optional[str] = None) -> FlowResult:
+             name: Optional[str] = None,
+             verify: bool = False,
+             verify_model: str = "atomic") -> FlowResult:
     """The complete Fig. 4 pipeline from a partial specification.
 
     ``reduce=False`` keeps maximal concurrency (the "Max. concurrency" rows);
@@ -249,7 +287,8 @@ def run_flow(spec: PartialSpec,
                         max_explored=max_explored, delays=delays,
                         max_csc_signals=max_csc_signals, library=library,
                         resynthesise=resynthesise,
-                        name=name or spec.name, spec=spec)
+                        name=name or spec.name, spec=spec,
+                        verify=verify, verify_model=verify_model)
 
 
 def implement_stg(stg: STG, name: Optional[str] = None,

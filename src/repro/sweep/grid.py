@@ -57,8 +57,11 @@ class SweepPoint:
 
     ``weight`` and ``frontier`` are ``None`` when the strategy ignores them
     (``none`` ignores both, ``best-first`` has no frontier), so equal points
-    compare equal no matter how they were spelled.  ``variant`` is a display
-    name for Keep_Conc rows ("li || ri"); it is not part of the identity.
+    compare equal no matter how they were spelled.  ``verify`` runs the
+    gate-level verification subsystem on the synthesized implementation
+    (:mod:`repro.verify`) and adds its verdict to the row.  ``variant`` is a
+    display name for Keep_Conc rows ("li || ri"); it is not part of the
+    identity.
     """
 
     spec: str
@@ -67,12 +70,13 @@ class SweepPoint:
     frontier: Optional[int] = None
     keep: KeepPairs = ()
     max_explored: Optional[int] = None
+    verify: bool = False
     variant: str = ""
 
     def key(self) -> tuple:
         """Hashable identity (everything but the display name)."""
         return (self.spec, self.strategy, self.weight, self.frontier,
-                self.keep, self.max_explored)
+                self.keep, self.max_explored, self.verify)
 
     def config(self) -> Dict[str, object]:
         """JSON-ready configuration for store keys and reports."""
@@ -83,6 +87,7 @@ class SweepPoint:
             "frontier": self.frontier,
             "keep": [list(pair) for pair in self.keep],
             "max_explored": self.max_explored,
+            "verify": self.verify,
         }
 
     def label(self) -> str:
@@ -98,6 +103,7 @@ def make_point(spec: str,
                frontier: Optional[int] = None,
                keep: Iterable[Tuple[str, str]] = (),
                max_explored: Optional[int] = None,
+               verify: bool = False,
                variant: str = "") -> SweepPoint:
     """Build a normalized :class:`SweepPoint`; validates the strategy."""
     if strategy not in STRATEGIES:
@@ -120,7 +126,8 @@ def make_point(spec: str,
         norm_frontier = 6 if frontier is None else int(frontier)
     return SweepPoint(spec=spec, strategy=strategy, weight=norm_weight,
                       frontier=norm_frontier, keep=norm_keep,
-                      max_explored=max_explored, variant=variant)
+                      max_explored=max_explored, verify=bool(verify),
+                      variant=variant)
 
 
 class SweepGrid:
@@ -158,13 +165,15 @@ def tables_grid(specs: Optional[Sequence[str]] = None,
                 weights: Sequence[float] = (0.0, 0.5, 1.0),
                 frontier: Optional[int] = None,
                 include_keep_variants: bool = True,
-                max_explored: Optional[int] = None) -> SweepGrid:
+                max_explored: Optional[int] = None,
+                verify: bool = False) -> SweepGrid:
     """The full Tables 1-2 style grid over the given specs.
 
     Per spec: one ``none`` point, one ``beam`` and one ``best-first`` point
     per weight ``W``, one ``full`` point, and (when enabled and the spec has
     them) every named Keep_Conc variant as a ``full`` reduction -- exactly
-    the rows the paper reports.
+    the rows the paper reports.  ``verify=True`` additionally runs the
+    gate-level verification subsystem on every point.
     """
     registry = spec_registry()
     if specs is None:
@@ -181,14 +190,17 @@ def tables_grid(specs: Optional[Sequence[str]] = None,
                 for weight in weights:
                     grid.add(make_point(spec, strategy, weight=weight,
                                         frontier=frontier,
-                                        max_explored=max_explored))
+                                        max_explored=max_explored,
+                                        verify=verify))
             else:
                 grid.add(make_point(spec, strategy, frontier=frontier,
-                                    max_explored=max_explored))
+                                    max_explored=max_explored,
+                                    verify=verify))
         if include_keep_variants and "full" in strategies:
             for variant, pairs in keep_variants(spec).items():
                 grid.add(make_point(spec, "full", keep=pairs,
                                     frontier=frontier,
                                     max_explored=max_explored,
+                                    verify=verify,
                                     variant=variant))
     return grid

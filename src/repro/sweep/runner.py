@@ -60,10 +60,12 @@ def evaluate_point(point: SweepPoint) -> Dict[str, object]:
         size_frontier=point.frontier,
         weight=0.5 if point.weight is None else point.weight,
         max_explored=point.max_explored,
-        name=point.label(), initial_sg=initial_sg)
+        name=point.label(), initial_sg=initial_sg,
+        verify=point.verify)
     report = flow.report
     stats = flow.reduction_stats or (
         flow.exploration.stats if flow.exploration is not None else None)
+    verification = report.verification
     return {
         "spec": point.spec,
         "variant": point.variant,
@@ -82,6 +84,11 @@ def evaluate_point(point: SweepPoint) -> Dict[str, object]:
         "expanded": None if stats is None else stats.expanded,
         "levels": None if stats is None else stats.levels,
         "capped": None if stats is None else stats.capped,
+        "verdict": None if verification is None else verification.verdict,
+        "verify_states": (None if verification is None
+                          else verification.product_states),
+        "verify_arcs": (None if verification is None
+                        else verification.product_arcs),
     }
 
 

@@ -28,8 +28,9 @@ from typing import Dict, Iterator, List, Optional
 from ..sg.graph import StateGraph
 
 #: Bump when the row layout or key derivation changes; old entries are
-#: simply never looked up again.
-STORE_VERSION = 1
+#: simply never looked up again.  Version 2: the point configuration grew a
+#: ``verify`` axis and rows grew verification columns.
+STORE_VERSION = 2
 
 
 def canonical(obj) -> object:

@@ -1,0 +1,23 @@
+"""Gate-level verification of synthesized circuits.
+
+The fourth analysis engine of the flow (after generation, reduction and
+synthesis): an event-driven packed-bitvector simulator for netlists
+(:mod:`repro.verify.simulator`), an on-the-fly product conformance checker
+(:mod:`repro.verify.conformance`) and deterministic, store-cacheable
+verification certificates (:mod:`repro.verify.certificate`).
+"""
+
+from .certificate import (CERTIFICATE_VERSION, VERDICTS, VerificationReport,
+                          netlist_payload, skipped_report, verification_key,
+                          verify_netlist)
+from .conformance import DEFAULT_MAX_STATES, check_conformance
+from .simulator import (MODELS, CompiledCircuit, SimulationError, cell_table,
+                        compile_atomic, compile_circuit, compile_structural)
+
+__all__ = [
+    "CERTIFICATE_VERSION", "DEFAULT_MAX_STATES", "MODELS", "VERDICTS",
+    "CompiledCircuit", "SimulationError", "VerificationReport", "cell_table",
+    "check_conformance", "compile_atomic", "compile_circuit",
+    "compile_structural", "netlist_payload", "skipped_report",
+    "verification_key", "verify_netlist",
+]

@@ -1,0 +1,476 @@
+"""Packed-bitvector event-driven simulation of synthesized netlists.
+
+The simulator executes a :class:`~repro.circuit.netlist.Netlist` under the
+unbounded-gate-delay model of speed-independent design: every driver is a
+*node* with a current output value; a node whose function evaluates to a
+different value is **excited** and may fire at any time.  Net values are
+packed into a single integer (bit ``i`` = net ``i``, the same convention as
+:meth:`repro.sg.graph.StateGraph.code_int`), node functions are compiled to
+lookup tables indexed by packed input bits, and the excited set is
+maintained incrementally across a firing by rechecking only the fanout of
+the nets that changed -- the netlist analogue of
+:meth:`repro.petri.net.PetriNet.fire_incremental`.
+
+Two delay models are supported:
+
+* ``"atomic"`` -- one node per implemented signal, its whole combinational
+  cone (decomposition trees, shared inverters, gC set/reset networks)
+  collapsed into a single function.  This is the paper's own model: the
+  2-input decomposition is assumed SI-preserving, so correctness is judged
+  at complex-gate granularity.  Nets are exactly the specification signals,
+  so a packed value *is* a state-graph binary code.
+* ``"structural"`` -- every gate and alias is its own node with its own
+  unbounded delay, exposing the internal nets of the decomposition.
+
+Sequential cells (C elements, SR latches) evaluate to ``None`` when they
+hold their value; a holding node is never excited.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..circuit.library import Cell
+from ..circuit.netlist import Netlist
+
+#: Delay models understood by :func:`compile_circuit`.
+MODELS = ("atomic", "structural")
+
+#: Nets with a fixed value in every simulation.
+CONSTANT_NETS = {"GND": 0, "VDD": 1}
+
+
+class SimulationError(Exception):
+    """Raised for netlists the simulator cannot execute."""
+
+
+# ----------------------------------------------------------------------
+# cell semantics
+# ----------------------------------------------------------------------
+_COMBINATIONAL: Dict[str, Callable[[Tuple[int, ...]], int]] = {
+    "INV": lambda a: 1 ^ a[0],
+    "BUF": lambda a: a[0],
+    "AND2": lambda a: a[0] & a[1],
+    "OR2": lambda a: a[0] | a[1],
+    "NAND2": lambda a: 1 ^ (a[0] & a[1]),
+    "NOR2": lambda a: 1 ^ (a[0] | a[1]),
+    "XOR2": lambda a: a[0] ^ a[1],
+}
+
+
+def _sequential_value(cell_name: str, inputs: Tuple[int, ...]) -> Optional[int]:
+    """Next value of a sequential cell, or ``None`` when it holds."""
+    if cell_name in ("C2", "C3"):
+        if all(inputs):
+            return 1
+        if not any(inputs):
+            return 0
+        return None
+    if cell_name == "SRLATCH":
+        set_v, reset_v = inputs
+        if set_v and not reset_v:
+            return 1
+        if reset_v and not set_v:
+            return 0
+        return None
+    raise SimulationError(f"no simulation semantics for cell {cell_name!r}")
+
+
+def cell_table(cell: Cell) -> Tuple[Optional[int], ...]:
+    """Truth table of a cell indexed by packed input bits (``None`` = hold)."""
+    entries: List[Optional[int]] = []
+    for index in range(1 << cell.fanin):
+        inputs = tuple((index >> k) & 1 for k in range(cell.fanin))
+        if cell.sequential:
+            entries.append(_sequential_value(cell.name, inputs))
+        else:
+            function = _COMBINATIONAL.get(cell.name)
+            if function is None:
+                raise SimulationError(
+                    f"no simulation semantics for cell {cell.name!r}")
+            entries.append(function(inputs))
+    return tuple(entries)
+
+
+# ----------------------------------------------------------------------
+# nodes
+# ----------------------------------------------------------------------
+class TableNode:
+    """One driver (gate or alias) compiled to a lookup table."""
+
+    __slots__ = ("nid", "name", "signal", "out", "inputs", "support", "table")
+
+    def __init__(self, nid: int, name: str, signal: Optional[str], out: int,
+                 inputs: Tuple[int, ...], table: Tuple[Optional[int], ...]) -> None:
+        self.nid = nid
+        self.name = name
+        self.signal = signal          # spec signal driven, if any
+        self.out = out                # output net index
+        self.inputs = inputs          # input net indices
+        self.support = 0
+        for net in inputs:
+            self.support |= 1 << net
+        self.table = table
+
+    def evaluate(self, values: int) -> Optional[int]:
+        index = 0
+        for k, net in enumerate(self.inputs):
+            index |= ((values >> net) & 1) << k
+        return self.table[index]
+
+
+class ConeNode:
+    """A whole combinational cone collapsed into one node (atomic model).
+
+    ``ops`` replays the cone's internal gates in topological order over a
+    scratch environment; the root is either a plain net lookup or a
+    sequential cell applied to internal nets.  Results are memoized on the
+    packed input values masked to the cone's support, so re-evaluations in
+    the product exploration are dictionary hits.
+    """
+
+    __slots__ = ("nid", "name", "signal", "out", "support", "_leaves", "_ops",
+                 "_root", "_memo")
+
+    _MISS = object()
+
+    def __init__(self, nid: int, name: str, signal: str, out: int,
+                 leaves: Tuple[Tuple[str, int], ...],
+                 ops: Tuple[Tuple[str, Tuple[Optional[int], ...], Tuple[str, ...]], ...],
+                 root: Tuple) -> None:
+        self.nid = nid
+        self.name = name
+        self.signal = signal
+        self.out = out
+        self._leaves = leaves         # (net name, external net index)
+        self._ops = ops               # (output net, table, input nets)
+        self._root = root             # ("net", name) | ("table", table, inputs)
+        self.support = 0
+        for _, net in leaves:
+            self.support |= 1 << net
+        self._memo: Dict[int, Optional[int]] = {}
+
+    def evaluate(self, values: int) -> Optional[int]:
+        key = values & self.support
+        cached = self._memo.get(key, self._MISS)
+        if cached is not self._MISS:
+            return cached
+        env: Dict[str, int] = dict(CONSTANT_NETS)
+        for name, net in self._leaves:
+            env[name] = (values >> net) & 1
+        for out_name, table, input_names in self._ops:
+            index = 0
+            for k, input_name in enumerate(input_names):
+                index |= env[input_name] << k
+            entry = table[index]
+            if entry is None:
+                raise SimulationError(
+                    f"sequential cell inside the cone of {self.signal!r}")
+            env[out_name] = entry
+        kind = self._root[0]
+        if kind == "net":
+            result: Optional[int] = env[self._root[1]]
+        else:
+            _, table, input_names = self._root
+            index = 0
+            for k, input_name in enumerate(input_names):
+                index |= env[input_name] << k
+            result = table[index]
+        self._memo[key] = result
+        return result
+
+
+# ----------------------------------------------------------------------
+# compiled circuit
+# ----------------------------------------------------------------------
+class CompiledCircuit:
+    """A netlist compiled for packed-bitvector event-driven simulation."""
+
+    def __init__(self, nets: List[str], nodes: List, pinned: Dict[int, int],
+                 model: str) -> None:
+        self.model = model
+        self.nets = nets
+        self.net_index = {name: i for i, name in enumerate(nets)}
+        self.nodes = nodes
+        self.node_of_net: Dict[int, int] = {
+            node.out: node.nid for node in nodes}
+        #: constant nets and their fixed values (net index -> 0/1)
+        self.pinned_constants = pinned
+        fanout: List[List[int]] = [[] for _ in nets]
+        for node in nodes:
+            for net in range(len(nets)):
+                if node.support & (1 << net):
+                    fanout[net].append(node.nid)
+        self.fanout: List[Tuple[int, ...]] = [tuple(ids) for ids in fanout]
+        self._excited_memo: Dict[int, Tuple[int, ...]] = {}
+
+    # -- values ---------------------------------------------------------
+    def value(self, values: int, net: int) -> int:
+        return (values >> net) & 1
+
+    def set_net(self, values: int, net: int, value: int) -> int:
+        if value:
+            return values | (1 << net)
+        return values & ~(1 << net)
+
+    def fire(self, values: int, nid: int) -> int:
+        """Fire an excited node: its output assumes the evaluated value."""
+        node = self.nodes[nid]
+        target = node.evaluate(values)
+        if target is None:
+            raise SimulationError(f"node {node.name!r} fired while holding")
+        return self.set_net(values, node.out, target)
+
+    # -- excitation -----------------------------------------------------
+    def _is_excited(self, nid: int, values: int) -> bool:
+        node = self.nodes[nid]
+        target = node.evaluate(values)
+        return target is not None and target != (values >> node.out) & 1
+
+    def excited(self, values: int) -> Tuple[int, ...]:
+        """Node ids excited at ``values`` (sorted, memoized per value)."""
+        cached = self._excited_memo.get(values)
+        if cached is None:
+            cached = tuple(node.nid for node in self.nodes
+                           if self._is_excited(node.nid, values))
+            self._excited_memo[values] = cached
+        return cached
+
+    def excited_after(self, previous: int, excited: Tuple[int, ...],
+                      values: int) -> Tuple[int, ...]:
+        """Excited set at ``values`` derived incrementally from a predecessor.
+
+        Only nodes reading a changed net -- or driving one -- can change
+        status; everything else carries over (the event-driven analogue of
+        ``fire_incremental``'s affected-transition recheck).
+        """
+        cached = self._excited_memo.get(values)
+        if cached is not None:
+            return cached
+        changed = previous ^ values
+        affected: Set[int] = set()
+        net = 0
+        while changed:
+            if changed & 1:
+                affected.update(self.fanout[net])
+                owner = self.node_of_net.get(net)
+                if owner is not None:
+                    affected.add(owner)
+            changed >>= 1
+            net += 1
+        result = sorted(
+            {nid for nid in excited if nid not in affected}
+            | {nid for nid in affected if self._is_excited(nid, values)})
+        as_tuple = tuple(result)
+        self._excited_memo[values] = as_tuple
+        return as_tuple
+
+    # -- initialization -------------------------------------------------
+    def settle(self, pinned_values: Dict[str, int]) -> int:
+        """Initial packed values: pin the given nets, settle the rest.
+
+        Non-pinned nets (decomposition internals) are driven to their stable
+        combinational values; a failure to stabilize within ``len(nodes)``
+        sweeps witnesses a zero-delay oscillation and raises.
+        """
+        values = 0
+        pinned_bits: Set[int] = set()
+        for net, value in self.pinned_constants.items():
+            values = self.set_net(values, net, value)
+            pinned_bits.add(net)
+        for name, value in pinned_values.items():
+            net = self.net_index.get(name)
+            if net is None:
+                continue
+            values = self.set_net(values, net, value)
+            pinned_bits.add(net)
+        free = [node for node in self.nodes if node.out not in pinned_bits]
+        for _ in range(len(free) + 1):
+            changed = False
+            for node in free:
+                target = node.evaluate(values)
+                if target is not None and target != (values >> node.out) & 1:
+                    values = self.set_net(values, node.out, target)
+                    changed = True
+            if not changed:
+                return values
+        raise SimulationError("internal nets do not stabilize (zero-delay "
+                              "oscillation in the decomposition logic)")
+
+
+# ----------------------------------------------------------------------
+# compilation
+# ----------------------------------------------------------------------
+def _driver_kind(netlist: Netlist, net: str):
+    """(kind, payload): ("gate", Gate) | ("alias", source) | (None, None)."""
+    driver = netlist.driver_of(net)
+    if driver is None:
+        return None, None
+    if driver.startswith("alias:"):
+        return "alias", driver[len("alias:"):]
+    for gate in netlist.gates:
+        if gate.name == driver:
+            return "gate", gate
+    raise SimulationError(f"net {net!r} names a missing driver {driver!r}")
+
+
+def _collect_nets(netlist: Netlist) -> List[str]:
+    """Every referenced net, in deterministic declaration order."""
+    ordered: List[str] = []
+    seen: Set[str] = set()
+
+    def add(net: str) -> None:
+        if net not in seen:
+            seen.add(net)
+            ordered.append(net)
+
+    for net in netlist.primary_inputs:
+        add(net)
+    for gate in netlist.gates:
+        for net in gate.inputs:
+            add(net)
+        add(gate.output)
+    for alias in netlist.aliases:
+        add(alias.source)
+        add(alias.target)
+    for net in netlist.primary_outputs:
+        add(net)
+    return ordered
+
+
+def compile_structural(netlist: Netlist, signals: Sequence[str],
+                       input_signals: Iterable[str]) -> CompiledCircuit:
+    """Compile every gate and alias as its own node.
+
+    ``signals`` are the specification's signal names (their nets carry the
+    conformance obligations); ``input_signals`` are driven by the
+    environment and therefore get no node even if the netlist drives them.
+    """
+    inputs = set(input_signals)
+    non_input = [s for s in signals if s not in inputs]
+    nets = _collect_nets(netlist)
+    for signal in signals:
+        if signal not in nets:
+            nets.append(signal)
+    index = {name: i for i, name in enumerate(nets)}
+    pinned = {index[name]: value for name, value in CONSTANT_NETS.items()
+              if name in index}
+    nodes: List = []
+    for gate in netlist.gates:
+        if gate.output in inputs:
+            continue  # environment-driven: the netlist driver is ignored
+        signal = gate.output if gate.output in non_input else None
+        nodes.append(TableNode(
+            len(nodes), gate.name, signal, index[gate.output],
+            tuple(index[i] for i in gate.inputs), cell_table(gate.cell)))
+    buf_table = (0, 1)
+    for alias in netlist.aliases:
+        if alias.target in inputs:
+            continue
+        if alias.source in CONSTANT_NETS and alias.target not in non_input:
+            pinned[index[alias.target]] = CONSTANT_NETS[alias.source]
+            continue
+        signal = alias.target if alias.target in non_input else None
+        nodes.append(TableNode(
+            len(nodes), f"alias:{alias.source}->{alias.target}", signal,
+            index[alias.target], (index[alias.source],), buf_table))
+    return CompiledCircuit(nets, nodes, pinned, "structural")
+
+
+def _cone_of(netlist: Netlist, signal: str,
+             boundary: Set[str]) -> Tuple[Tuple[str, ...], Tuple, Tuple]:
+    """Collapse the combinational cone driving ``signal``.
+
+    Walks drivers backwards until hitting ``boundary`` nets (specification
+    signals) or constants; returns (leaf nets, internal ops in topological
+    order, root spec).  A sequential cell is only allowed at the root (the
+    C element of a gC implementation).
+    """
+    kind, payload = _driver_kind(netlist, signal)
+    if kind is None:
+        raise SimulationError(f"signal {signal!r} has no driver in the netlist")
+
+    leaves: List[str] = []
+    ops: List[Tuple[str, Tuple[Optional[int], ...], Tuple[str, ...]]] = []
+    emitted: Set[str] = set()
+    visiting: Set[str] = set()
+
+    def visit(net: str) -> None:
+        """Emit the ops computing ``net`` (post-order)."""
+        if net in emitted or net in CONSTANT_NETS:
+            return
+        if net in boundary or netlist.driver_of(net) is None:
+            emitted.add(net)
+            leaves.append(net)
+            return
+        if net in visiting:
+            raise SimulationError(
+                f"combinational cycle through internal net {net!r} "
+                f"in the cone of {signal!r}")
+        visiting.add(net)
+        net_kind, net_payload = _driver_kind(netlist, net)
+        if net_kind == "alias":
+            visit(net_payload)
+            ops.append((net, (0, 1), (net_payload,)))
+        else:
+            if net_payload.cell.sequential:
+                raise SimulationError(
+                    f"sequential cell {net_payload.name!r} feeds the cone of "
+                    f"{signal!r} through internal net {net!r}")
+            for input_net in net_payload.inputs:
+                visit(input_net)
+            ops.append((net, cell_table(net_payload.cell),
+                        tuple(net_payload.inputs)))
+        visiting.discard(net)
+        emitted.add(net)
+
+    if kind == "alias":
+        if payload in CONSTANT_NETS:
+            constant = CONSTANT_NETS[payload]
+            return (), (), ("table", (constant,), ())
+        visit(payload)
+        root: Tuple = ("net", payload)
+    else:
+        for input_net in payload.inputs:
+            visit(input_net)
+        root = ("table", cell_table(payload.cell), tuple(payload.inputs))
+    return tuple(leaves), tuple(ops), root
+
+
+def compile_atomic(netlist: Netlist, signals: Sequence[str],
+                   input_signals: Iterable[str]) -> CompiledCircuit:
+    """Compile one collapsed-cone node per implemented signal.
+
+    Nets are exactly ``signals`` in order, so packed values coincide with
+    the specification's binary codes (:meth:`StateGraph.code_int`).
+    """
+    inputs = set(input_signals)
+    nets = list(signals)
+    index = {name: i for i, name in enumerate(nets)}
+    boundary = set(signals)
+    nodes: List = []
+    for signal in signals:
+        if signal in inputs:
+            continue
+        leaves, ops, root = _cone_of(netlist, signal, boundary)
+        leaf_pairs = tuple((leaf, index[leaf]) for leaf in leaves
+                           if leaf in index)
+        unknown = [leaf for leaf in leaves if leaf not in index]
+        if unknown:
+            raise SimulationError(
+                f"cone of {signal!r} reads nets {unknown!r} that are neither "
+                "specification signals nor constants")
+        nodes.append(ConeNode(len(nodes), f"cone:{signal}", signal,
+                              index[signal], leaf_pairs, ops, root))
+    return CompiledCircuit(nets, nodes, {}, "atomic")
+
+
+def compile_circuit(netlist: Netlist, signals: Sequence[str],
+                    input_signals: Iterable[str],
+                    model: str = "atomic") -> CompiledCircuit:
+    """Compile a netlist under one of the :data:`MODELS`."""
+    if model == "atomic":
+        return compile_atomic(netlist, signals, input_signals)
+    if model == "structural":
+        return compile_structural(netlist, signals, input_signals)
+    raise ValueError(f"unknown delay model {model!r}; expected one of {MODELS}")

@@ -65,10 +65,54 @@ class TestNetlist:
         assert netlist.depth_of("y") == 2.0
         assert netlist.depth_of("a") == 0.0
 
-    def test_depth_breaks_feedback(self):
+    def test_depth_combinational_feedback_is_unbounded(self):
+        # SI circuits are cyclic: a complex gate feeds its own output back.
+        # A combinational loop has no finite worst-case depth; the defined
+        # sentinel is math.inf (the old code silently under-reported).
+        import math
         netlist = Netlist("n")
+        netlist.add_input("a")
         netlist.add_gate("AND2", ["y", "a"], output="y")
-        assert netlist.depth_of("y") == 1.0
+        netlist.add_gate("INV", ["y"], output="z")
+        assert netlist.depth_of("y") == math.inf
+        assert netlist.depth_of("z") == math.inf  # downstream of the loop
+        assert netlist.depth_of("a") == 0.0       # untouched by the loop
+
+    def test_depth_breaks_at_sequential_cells(self):
+        # A C element's feedback is sequential, not combinational: its
+        # output starts a new timing path at the cell's own delay.
+        netlist = Netlist("n")
+        netlist.add_input("a")
+        netlist.add_gate("INV", ["y"], output="ny")
+        netlist.add_gate("C2", ["a", "ny"], output="y")
+        assert netlist.depth_of("y") == 1.5
+        assert netlist.depth_of("ny") == 2.5
+
+    def test_depth_alias_cycle_terminates(self):
+        netlist = Netlist("n")
+        netlist.add_gate("BUF", ["b"], output="a")
+        netlist.add_alias("a", "b")
+        import math
+        assert netlist.depth_of("b") == math.inf
+
+    def test_depth_wide_dag_is_linear(self):
+        # The old per-path visited-set recursion was exponential on ladders
+        # of reconvergent fanout; the memoized walk must handle 60 levels.
+        netlist = Netlist("n")
+        netlist.add_input("x0")
+        netlist.add_input("y0")
+        for i in range(60):
+            netlist.add_gate("AND2", [f"x{i}", f"y{i}"], output=f"x{i+1}")
+            netlist.add_gate("OR2", [f"x{i}", f"y{i}"], output=f"y{i+1}")
+        assert netlist.depth_of("x60") == 60.0
+
+    def test_nets_sorted(self):
+        netlist = Netlist("n")
+        netlist.add_input("b")
+        netlist.add_input("a")
+        netlist.add_gate("AND2", ["b", "a"], output="z")
+        netlist.add_alias("z", "y")
+        assert netlist.nets() == ["a", "b", "y", "z"]
 
     def test_merge(self):
         first = Netlist("a")

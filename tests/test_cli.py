@@ -132,6 +132,68 @@ class TestSweep:
             main(["sweep", "--specs", "nosuch"])
 
 
+class TestVerify:
+    def test_verify_registry_spec(self, capsys):
+        assert main(["verify", "half"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("conforming") == 4  # one line per strategy
+
+    def test_verify_g_file(self, lr_file, capsys):
+        assert main(["verify", lr_file, "--strategies", "full"]) == 0
+        assert "conforming" in capsys.readouterr().out
+
+    def test_verify_unknown_spec_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["verify", "nosuch"])
+
+    def test_verify_unknown_strategy_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["verify", "half", "--strategies", "dfs"])
+
+    def test_verify_skip_is_ok_unless_strict(self, capsys):
+        # The unreduced micropipeline has no circuit: reported as skipped,
+        # non-zero only under --strict.
+        assert main(["verify", "micropipeline",
+                     "--strategies", "none"]) == 0
+        assert "skipped" in capsys.readouterr().out
+        assert main(["verify", "micropipeline",
+                     "--strategies", "none", "--strict"]) == 1
+
+    def test_verify_store_warm_run(self, tmp_path, capsys):
+        argv = ["verify", "half", "--strategies", "none,full",
+                "--store", str(tmp_path / "store")]
+        assert main(argv) == 0
+        cold = capsys.readouterr()
+        assert main(argv) == 0
+        warm = capsys.readouterr()
+        assert cold.out == warm.out
+        assert "0 verified" in warm.err
+
+    def test_verify_json_report(self, tmp_path, capsys):
+        out_path = tmp_path / "certs.json"
+        assert main(["verify", "half", "--strategies", "full",
+                     "--json", str(out_path)]) == 0
+        payload = __import__("json").loads(out_path.read_text())
+        assert payload["reports"][0]["verdict"] == "conforming"
+
+    def test_verify_structural_failure_prints_trace(self, capsys):
+        # Structural per-gate delays expose the non-SI decomposition.
+        assert main(["verify", "half", "--strategies", "full",
+                     "--model", "structural"]) == 1
+        out = capsys.readouterr().out
+        assert "non-conforming" in out
+        assert "1." in out  # the counterexample trace is printed
+
+
+class TestSweepVerify:
+    def test_sweep_verify_flag_adds_verdicts(self, capsys):
+        assert main(["sweep", "--specs", "half", "--strategies", "full",
+                     "--verify", "--format", "csv"]) == 0
+        out = capsys.readouterr().out
+        assert "verdict" in out.splitlines()[0]
+        assert "conforming" in out
+
+
 class TestReduce:
     def test_reduce_roundtrip(self, lr_file, tmp_path, capsys):
         out_path = tmp_path / "reduced.g"
