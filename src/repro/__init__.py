@@ -47,6 +47,7 @@ from .timing.delays import TABLE1_DELAYS, DelayModel
 from .timing.critical_cycle import critical_cycle
 from .flow import (FlowResult, ImplementationReport, implement, implement_stg,
                    reduce_sg, run_flow, run_flow_stg)
+from .pipeline import ArtifactStore, FlowConfig, run_pipeline
 
 __version__ = "0.1.0"
 
@@ -65,5 +66,6 @@ __all__ = [
     "TABLE1_DELAYS", "DelayModel", "critical_cycle",
     "FlowResult", "ImplementationReport", "implement", "implement_stg",
     "reduce_sg", "run_flow", "run_flow_stg",
+    "ArtifactStore", "FlowConfig", "run_pipeline",
     "__version__",
 ]

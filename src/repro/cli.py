@@ -5,19 +5,23 @@ Usage (also via ``python -m repro``)::
     python -m repro check  spec.g              # implementability report
     python -m repro sg     spec.g [--dot]      # print the state graph
     python -m repro synth  spec.g [--full] [--no-reduce] [--keep li-,ri-]
-                                   [-W 0.5] [--max-csc 4]
+                                   [-W 0.5] [--max-csc 4] [--store DIR]
     python -m repro reduce spec.g [-o out.g]   # reduce + re-derive an STG
     python -m repro verify spec.g [--strategies none,full] [--store DIR]
                                    [--model atomic|structural]
     python -m repro sweep  [--specs lr,mmu] [--jobs 4] [--store DIR]
                            [--format md|csv|json] [-o report.md] [--verify]
+    python -m repro cache  stats|gc|clear DIR [--max-bytes N]
 
 ``check``/``sg``/``synth``/``reduce`` read astg-style ``.g`` files (see
 ``repro.petri.parser``); ``verify`` additionally accepts registry spec
 names (``repro verify half vme_read``) and checks the synthesized circuit
 of every requested reduction strategy against its specification; ``sweep``
 runs the built-in benchmark registry through the whole Tables 1-2
-design-space grid in parallel.
+design-space grid in parallel.  ``synth``, ``verify`` and ``sweep`` all
+share one ``--store`` directory (the content-addressed artifact store):
+warm runs skip every pipeline stage whose inputs didn't change, and
+``cache`` inspects, garbage-collects or clears that store.
 """
 
 from __future__ import annotations
@@ -29,8 +33,9 @@ import sys
 from typing import List, Optional
 
 from .encoding.csc import irresolvable_conflicts
-from .flow import STRATEGIES, implement, reduce_sg
+from .flow import STRATEGIES, run_flow_stg
 from .petri.parser import read_stg, write_stg
+from .pipeline.store import ArtifactStore
 from .reduction.explore import full_reduction, reduce_concurrency
 from .sg.generator import generate_sg
 from .sg.properties import check_implementability
@@ -92,14 +97,25 @@ def _reduced_sg(args: argparse.Namespace):
 
 
 def cmd_synth(args: argparse.Namespace) -> int:
-    initial, reduced = _reduced_sg(args)
     # Inserted CSC signals are *internal*: they get their own delay, which
     # defaults to the output delay (the Table 1 convention) but can differ.
     internal = (args.output_delay if args.internal_delay is None
                 else args.internal_delay)
     delays = DelayModel.by_kind(args.input_delay, args.output_delay, internal)
-    report = implement(reduced, delays=delays, max_csc_signals=args.max_csc)
-    print(f"states: {len(initial)} -> {len(reduced)} after reduction")
+    if args.no_reduce:
+        strategy = "none"
+    elif args.full:
+        strategy = "full"
+    else:
+        strategy = "best-first"
+    store = ArtifactStore(args.store) if args.store else None
+    flow = run_flow_stg(read_stg(args.spec), strategy=strategy,
+                        keep_conc=_parse_keep(getattr(args, "keep", None)),
+                        weight=args.weight, delays=delays,
+                        max_csc_signals=args.max_csc, store=store)
+    report = flow.report
+    print(f"states: {len(flow.initial_sg)} -> {len(flow.reduced_sg)} "
+          "after reduction")
     print(f"CSC signals inserted: {report.csc_signal_count} "
           f"(resolved: {report.csc_resolved})")
     if report.circuit is not None:
@@ -125,6 +141,14 @@ def cmd_sweep(args: argparse.Namespace) -> int:
 
     if args.jobs < 1:
         raise SystemExit("--jobs must be at least 1")
+    from .sweep.grid import TABLE1_DELAY_AXIS
+
+    delays = None
+    flags = (args.input_delay, args.output_delay, args.internal_delay)
+    if any(flag is not None for flag in flags):
+        # Unset components fall back to the canonical Table 1 axis.
+        delays = tuple(default if flag is None else flag
+                       for flag, default in zip(flags, TABLE1_DELAY_AXIS))
     try:
         weights = [float(w) for w in (_parse_csv(args.weights)
                                       or ["0.0", "0.5", "1.0"])]
@@ -135,7 +159,9 @@ def cmd_sweep(args: argparse.Namespace) -> int:
                            frontier=args.frontier,
                            include_keep_variants=not args.no_keep_variants,
                            max_explored=args.max_explored,
-                           verify=args.verify)
+                           delays=delays,
+                           verify=args.verify,
+                           verify_max_states=args.verify_max_states)
     except (KeyError, ValueError) as exc:
         raise SystemExit(str(exc))
     store = ResultStore(args.store) if args.store else None
@@ -151,6 +177,8 @@ def cmd_sweep(args: argparse.Namespace) -> int:
           f"{outcome.cached} cached, {outcome.seconds:.2f}s "
           f"({outcome.points_per_second:.1f} points/s, jobs={outcome.jobs})",
           file=sys.stderr)
+    if store is not None:
+        print(outcome.stage_summary(), file=sys.stderr)
     return 0
 
 
@@ -170,7 +198,6 @@ def _load_spec_sg(spec: str):
 
 
 def cmd_verify(args: argparse.Namespace) -> int:
-    from .sweep.store import ResultStore
     from .verify import verify_netlist
     from .verify.certificate import skipped_report
 
@@ -180,17 +207,20 @@ def cmd_verify(args: argparse.Namespace) -> int:
         raise SystemExit(f"unknown strategy(ies) {unknown}; "
                          f"expected a subset of {STRATEGIES}")
     keep = _parse_keep(args.keep)
-    store = ResultStore(args.store) if args.store else None
+    store = ArtifactStore(args.store) if args.store else None
     reports = []
     verified = cached_count = failures = skips = 0
     for spec in args.specs:
         name, initial_sg = _load_spec_sg(spec)
         for strategy in strategies:
             label = f"{name}/{strategy}"
-            chosen, _, _ = reduce_sg(initial_sg, strategy=strategy,
-                                     keep_conc=keep, weight=args.weight)
-            implementation = implement(chosen, name=label,
-                                       max_csc_signals=args.max_csc)
+            # Through the staged pipeline so --store reuses the reduction,
+            # CSC and synthesis artifacts across runs, not just the final
+            # certificate.
+            implementation = run_flow_stg(
+                None, strategy=strategy, keep_conc=keep, weight=args.weight,
+                max_csc_signals=args.max_csc, initial_sg=initial_sg,
+                name=label, store=store).report
             if implementation.circuit is None:
                 report = skipped_report(
                     label, "no synthesized circuit (unresolved CSC or "
@@ -225,6 +255,41 @@ def cmd_verify(args: argparse.Namespace) -> int:
     if args.strict and skips:
         return 1
     return 0
+
+
+def cmd_cache(args: argparse.Namespace) -> int:
+    from . import engine
+
+    # Inspection/maintenance must not conjure stores out of typos
+    # (ArtifactStore.__init__ creates its directory).
+    if not os.path.isdir(args.store):
+        raise SystemExit(f"no such store directory: {args.store}")
+    store = ArtifactStore(args.store)
+    if args.action == "stats":
+        stats = store.stats()
+        print(f"store {stats['root']}: {stats['entries']} entries, "
+              f"{stats['bytes']} bytes")
+        for stage, count in stats["stages"].items():
+            print(f"  {stage:12s} {count}")
+        memos = engine.cache_stats()
+        print(f"engine memo tables (this process): {len(memos)}")
+        for name, entries in sorted(memos.items()):
+            print(f"  {name:24s} {entries} entries")
+        return 0
+    if args.action == "gc":
+        if args.max_bytes is None:
+            raise SystemExit("cache gc requires --max-bytes")
+        result = store.gc(args.max_bytes)
+        print(f"deleted {result['deleted']} entries "
+              f"({result['freed_bytes']} bytes); "
+              f"{result['remaining_bytes']} bytes remain")
+        return 0
+    if args.action == "clear":
+        removed = store.clear()
+        engine.clear_caches()
+        print(f"deleted {removed} entries; engine memo tables cleared")
+        return 0
+    raise SystemExit(f"unknown cache action {args.action!r}")
 
 
 def cmd_reduce(args: argparse.Namespace) -> int:
@@ -281,6 +346,9 @@ def build_parser() -> argparse.ArgumentParser:
     synth.add_argument("--internal-delay", type=float, default=None,
                        help="delay of inserted CSC signals "
                             "(default: the output delay)")
+    synth.add_argument("--store", metavar="DIR",
+                       help="artifact store; warm runs reuse every pipeline "
+                            "stage whose inputs didn't change")
     synth.set_defaults(func=cmd_synth)
 
     reduce_cmd = sub.add_parser("reduce",
@@ -340,6 +408,17 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--verify", action="store_true",
                        help="gate-level verify every design point and add "
                             "verdict columns to the report")
+    sweep.add_argument("--verify-max-states", type=int, default=None,
+                       help="product state-space cap per verification "
+                            "(default: repro.verify.DEFAULT_MAX_STATES)")
+    sweep.add_argument("--input-delay", type=float, default=None,
+                       help="input event delay for every point "
+                            "(default: 2, the Table 1 model)")
+    sweep.add_argument("--output-delay", type=float, default=None,
+                       help="output event delay for every point (default: 1)")
+    sweep.add_argument("--internal-delay", type=float, default=None,
+                       help="internal/CSC event delay for every point "
+                            "(default: 1)")
     sweep.add_argument("-j", "--jobs", type=int, default=1,
                        help="worker processes (default: 1, serial)")
     sweep.add_argument("--store", metavar="DIR",
@@ -349,6 +428,18 @@ def build_parser() -> argparse.ArgumentParser:
                        default="md", help="report format (default: md)")
     sweep.add_argument("-o", "--output", help="write the report to a file")
     sweep.set_defaults(func=cmd_sweep)
+
+    cache = sub.add_parser(
+        "cache",
+        help="inspect or maintain an artifact store (and engine memos)")
+    cache.add_argument("action", choices=("stats", "gc", "clear"),
+                       help="stats: entries/bytes per stage; gc: delete "
+                            "oldest entries over the byte budget; clear: "
+                            "delete everything")
+    cache.add_argument("store", metavar="DIR", help="store directory")
+    cache.add_argument("--max-bytes", type=int, default=None,
+                       help="byte budget for gc")
+    cache.set_defaults(func=cmd_cache)
     return parser
 
 

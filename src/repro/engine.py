@@ -7,21 +7,29 @@ the scaling benchmark runs the same workload with the caches enabled and
 disabled and asserts byte-identical synthesis outputs; this module is the
 single point of control for that ablation.
 
-Caches register themselves here so that disabling the engine also clears
-them (a stale entry surviving a toggle would defeat the comparison).
+Caches register themselves here (optionally under a name) so that
+disabling the engine also clears them (a stale entry surviving a toggle
+would defeat the comparison) and so ``repro cache stats`` can report the
+in-process memo tables next to the on-disk artifact store.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, MutableMapping, Optional, Tuple
 
 _packed_memo_enabled = True
-_registered_caches: List[Dict] = []
+_registered_caches: List[Tuple[str, MutableMapping]] = []
 
 
-def register_cache(cache: Dict) -> Dict:
-    """Register a memo dict so toggling the engine clears it; returns it."""
-    _registered_caches.append(cache)
+def register_cache(cache: MutableMapping,
+                   name: Optional[str] = None) -> MutableMapping:
+    """Register a memo table so toggling the engine clears it; returns it.
+
+    ``name`` labels the table in :func:`cache_stats`; anonymous tables get
+    a positional label.
+    """
+    label = name or f"cache-{len(_registered_caches)}"
+    _registered_caches.append((label, cache))
     return cache
 
 
@@ -38,5 +46,10 @@ def set_packed_memo(enabled: bool) -> None:
 
 def clear_caches() -> None:
     """Drop all memoized results (used between benchmark phases)."""
-    for cache in _registered_caches:
+    for _, cache in _registered_caches:
         cache.clear()
+
+
+def cache_stats() -> Dict[str, int]:
+    """Entry count of every registered memo table, by label."""
+    return {label: len(cache) for label, cache in _registered_caches}

@@ -14,33 +14,44 @@
 7. performance analysis: critical cycle and input events on it
    (:mod:`repro.timing`);
 8. optional gate-level verification of the synthesized netlist against the
-   resolved SG: conformance, hazard-freedom, deadlock-freedom and
-   semi-modularity (:mod:`repro.verify`, ``verify=True``).
+   resolved SG (:mod:`repro.verify`, ``verify=True``).
+
+Since the pipeline refactor these entry points are thin wrappers over
+:func:`repro.pipeline.run_pipeline`: each call builds one frozen
+:class:`~repro.pipeline.FlowConfig` (the single source of truth for every
+knob) and evaluates it through the staged, content-addressed pipeline.
+The keyword signatures below are kept for compatibility -- new code should
+construct a :class:`FlowConfig` directly -- and all of them accept an
+optional ``store`` (an :class:`~repro.pipeline.ArtifactStore`) to get
+stage-granular warm-run resume.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple, Union
 
 from .circuit.library import DEFAULT_LIBRARY, Library
-from .circuit.synthesize import (CircuitImplementation, estimate_circuit_area,
-                                 synthesize_circuit)
-from .encoding.insertion import InsertionChoice, ResolutionResult, resolve_csc
+from .circuit.synthesize import CircuitImplementation
+from .encoding.insertion import InsertionChoice
 from .hse.constraints import InterfaceConstraint
-from .hse.expansion import expand
 from .hse.spec import PartialSpec
 from .petri.stg import STG
-from .reduction.explore import (ExplorationResult, ExplorationStats,
-                                full_reduction_with_stats, reduce_concurrency)
-from .sg.generator import generate_sg
+from .pipeline.config import STRATEGIES, FlowConfig
+from .pipeline.stages import (PipelineResult, ReductionSummary, run_pipeline,
+                              run_reduction)
+from .pipeline.store import ArtifactStore
+from .reduction.explore import ExplorationResult, ExplorationStats
 from .sg.graph import StateGraph
-from .sg.properties import check_implementability, csc_conflicts
-from .sg.resynthesis import ResynthesisError, resynthesise_stg
-from .timing.critical_cycle import CycleReport, TimingError, critical_cycle
+from .timing.critical_cycle import CycleReport
 from .timing.delays import TABLE1_DELAYS, DelayModel
-from .verify.certificate import VerificationReport, skipped_report
-from .verify.conformance import DEFAULT_MAX_STATES, check_conformance
+from .verify.certificate import VerificationReport
+from .verify.conformance import DEFAULT_MAX_STATES
+
+__all__ = [
+    "STRATEGIES", "FlowResult", "ImplementationReport", "implement",
+    "implement_stg", "reduce_sg", "run_flow", "run_flow_stg",
+]
 
 
 @dataclass
@@ -89,6 +100,45 @@ class ImplementationReport:
                 self.cycle_time, self.input_event_count)
 
 
+@dataclass
+class FlowResult:
+    """Artifacts of every stage of the Fig. 4 flow.
+
+    ``exploration`` is the live :class:`ExplorationResult` when this
+    process ran the search, or a :class:`ReductionSummary` (costs + stats,
+    no per-step history) when a warm store served the reduce stage.
+    """
+
+    spec: Optional[PartialSpec]
+    expanded: Optional[STG]
+    initial_sg: StateGraph
+    exploration: Optional[Union[ExplorationResult, ReductionSummary]]
+    report: ImplementationReport
+    reduction_stats: Optional[ExplorationStats] = None
+    pipeline: Optional[PipelineResult] = None
+
+    @property
+    def reduced_sg(self) -> StateGraph:
+        return self.report.sg
+
+
+def _implementation_report(result: PipelineResult,
+                           name: str) -> ImplementationReport:
+    """Assemble the classic report from a pipeline evaluation."""
+    return ImplementationReport(
+        name=name,
+        sg=result.reduced_sg(),
+        resolved_sg=result.resolved_sg(),
+        insertions=result.insertions(),
+        csc_resolved=result.csc_resolved(),
+        circuit=result.circuit(),
+        cycle=result.cycle(),
+        stg=result.resynthesised_stg(),
+        area_estimate=result.area_estimate(),
+        verification=result.verification(),
+    )
+
+
 def implement(sg: StateGraph, name: Optional[str] = None,
               delays: DelayModel = TABLE1_DELAYS,
               max_csc_signals: int = 4,
@@ -97,86 +147,25 @@ def implement(sg: StateGraph, name: Optional[str] = None,
               exact_covers: bool = True,
               verify: bool = False,
               verify_model: str = "atomic",
-              verify_max_states: int = DEFAULT_MAX_STATES) -> ImplementationReport:
-    """Resolve CSC, synthesize the circuit and measure it.
+              verify_max_states: int = DEFAULT_MAX_STATES,
+              store: Optional[ArtifactStore] = None) -> ImplementationReport:
+    """Resolve CSC, synthesize the circuit and measure it (stages 4-8).
 
+    Deprecated keyword front end: builds a ``strategy="none"``
+    :class:`FlowConfig` and evaluates the pipeline on ``sg`` as-is.
     With ``verify=True`` the synthesized netlist is checked against the
-    resolved SG (conformance, hazard-freedom, deadlock-freedom,
-    semi-modularity; see :mod:`repro.verify`) and the certificate lands on
-    :attr:`ImplementationReport.verification`.  Design points without a
+    resolved SG and the certificate lands on
+    :attr:`ImplementationReport.verification`; design points without a
     circuit (unresolved CSC, toggle specs) get a ``skipped`` report.
     """
-    resolution = resolve_csc(sg, max_signals=max_csc_signals)
-    circuit: Optional[CircuitImplementation] = None
-    area_estimate: Optional[float] = None
-    if resolution.resolved:
-        try:
-            circuit = synthesize_circuit(resolution.sg, exact=exact_covers,
-                                         library=library)
-        except ValueError:
-            circuit = None  # 2-phase (toggle) SGs have no SOP logic
-    else:
-        try:
-            area_estimate = estimate_circuit_area(resolution.sg, library)
-        except ValueError:
-            area_estimate = None  # 2-phase (toggle) SGs have no SOP logic
-    cycle: Optional[CycleReport] = None
-    try:
-        cycle = critical_cycle(resolution.sg, delays)
-    except TimingError:
-        cycle = None
-    stg: Optional[STG] = None
-    if resynthesise:
-        try:
-            stg = resynthesise_stg(resolution.sg)
-        except ResynthesisError:
-            stg = None
-    verification: Optional[VerificationReport] = None
-    if verify:
-        report_name = name or sg.name
-        if circuit is not None:
-            verification = check_conformance(
-                circuit.netlist, resolution.sg, model=verify_model,
-                max_states=verify_max_states, name=report_name)
-        else:
-            verification = skipped_report(
-                report_name, "no synthesized circuit (unresolved CSC or "
-                "toggle specification)", model=verify_model)
-    return ImplementationReport(
-        name=name or sg.name,
-        sg=sg,
-        resolved_sg=resolution.sg,
-        insertions=resolution.insertions,
-        csc_resolved=resolution.resolved,
-        circuit=circuit,
-        cycle=cycle,
-        stg=stg,
-        area_estimate=area_estimate,
-        verification=verification,
-    )
-
-
-@dataclass
-class FlowResult:
-    """Artifacts of every stage of the Fig. 4 flow."""
-
-    spec: Optional[PartialSpec]
-    expanded: Optional[STG]
-    initial_sg: StateGraph
-    exploration: Optional[ExplorationResult]
-    report: ImplementationReport
-    reduction_stats: Optional[ExplorationStats] = None
-
-    @property
-    def reduced_sg(self) -> StateGraph:
-        return self.report.sg
-
-
-#: The reduction strategies :func:`run_flow_stg` understands (the sweep
-#: subsystem exposes the same axis): ``none`` keeps maximal concurrency,
-#: ``beam``/``best-first`` run the Fig. 9 search, ``full`` drives
-#: concurrency as low as validity allows.
-STRATEGIES = ("none", "beam", "best-first", "full")
+    config = FlowConfig.create(
+        strategy="none", delays=delays, max_csc_signals=max_csc_signals,
+        library=library, resynthesise=resynthesise, exact_covers=exact_covers,
+        verify=verify, verify_model=verify_model,
+        verify_max_states=verify_max_states)
+    result = run_pipeline(config, initial_sg=sg, name=name or sg.name,
+                          store=store)
+    return _implementation_report(result, name or sg.name)
 
 
 def reduce_sg(initial_sg: StateGraph,
@@ -189,28 +178,28 @@ def reduce_sg(initial_sg: StateGraph,
                          Optional[ExplorationStats]]:
     """Apply one reduction strategy; returns (chosen SG, exploration, stats).
 
-    ``size_frontier`` and ``max_explored`` default per strategy (4/10k for
-    the searches, 6/20k for ``full``) when left as ``None``.
+    ``size_frontier`` and ``max_explored`` default per strategy from
+    :data:`repro.pipeline.STRATEGY_DEFAULTS` (4/10k for the searches,
+    6/20k for ``full``) when left as ``None``.
     """
-    if strategy == "none":
-        return initial_sg, None, None
-    if strategy == "full":
-        chosen, stats = full_reduction_with_stats(
-            initial_sg, keep_conc=keep_conc,
-            size_frontier=6 if size_frontier is None else size_frontier,
-            weight=weight,
-            max_explored=20_000 if max_explored is None else max_explored)
-        return chosen, None, stats
-    if strategy not in ("beam", "best-first"):
-        raise ValueError(f"unknown strategy {strategy!r}; "
-                         f"expected one of {STRATEGIES}")
-    exploration = reduce_concurrency(
-        initial_sg, keep_conc=keep_conc,
-        size_frontier=4 if size_frontier is None else size_frontier,
-        weight=weight,
-        max_explored=10_000 if max_explored is None else max_explored,
-        strategy=strategy)
-    return exploration.best, exploration, exploration.stats
+    config = FlowConfig.create(
+        strategy=strategy, keep_conc=keep_conc, size_frontier=size_frontier,
+        weight=weight, max_explored=max_explored)
+    return run_reduction(config, initial_sg)
+
+
+def _flow_result(result: PipelineResult, name: str,
+                 spec: Optional[PartialSpec],
+                 expanded: Optional[STG]) -> FlowResult:
+    return FlowResult(
+        spec=spec,
+        expanded=expanded,
+        initial_sg=result.initial_sg(),
+        exploration=result.exploration(),
+        report=_implementation_report(result, name),
+        reduction_stats=result.reduction_stats(),
+        pipeline=result,
+    )
 
 
 def run_flow_stg(stg: Optional[STG],
@@ -227,30 +216,28 @@ def run_flow_stg(stg: Optional[STG],
                  spec: Optional[PartialSpec] = None,
                  initial_sg: Optional[StateGraph] = None,
                  verify: bool = False,
-                 verify_model: str = "atomic") -> FlowResult:
-    """The Fig. 4 pipeline from a complete STG (stages 2-7).
+                 verify_model: str = "atomic",
+                 verify_max_states: Optional[int] = None,
+                 store: Optional[ArtifactStore] = None) -> FlowResult:
+    """The Fig. 4 pipeline from a complete STG (stages 2-8).
 
-    This is the entry point the sweep subsystem drives: one call evaluates
-    one design point (``strategy`` x ``weight`` x ``keep_conc``).  Passing a
-    pre-generated ``initial_sg`` skips SG generation (sweep workers cache
-    the SG per spec).
+    Deprecated keyword front end over :func:`repro.pipeline.run_pipeline`;
+    one call evaluates one design point (``strategy`` x ``weight`` x
+    ``keep_conc``).  Passing a pre-generated ``initial_sg`` skips SG
+    generation (sweep workers cache the SG per spec).
     """
-    if initial_sg is None:
-        if stg is None:
-            raise ValueError("run_flow_stg needs an STG or a pre-generated SG")
-        initial_sg = generate_sg(stg)
-    chosen, exploration, stats = reduce_sg(
-        initial_sg, strategy=strategy, keep_conc=keep_conc,
-        size_frontier=size_frontier, weight=weight, max_explored=max_explored)
-    report = implement(chosen,
-                       name=name or (stg.name if stg is not None
-                                     else initial_sg.name),
-                       delays=delays, max_csc_signals=max_csc_signals,
-                       library=library, resynthesise=resynthesise,
-                       verify=verify, verify_model=verify_model)
-    return FlowResult(spec=spec, expanded=stg, initial_sg=initial_sg,
-                      exploration=exploration, report=report,
-                      reduction_stats=stats)
+    if initial_sg is None and stg is None:
+        raise ValueError("run_flow_stg needs an STG or a pre-generated SG")
+    config = FlowConfig.create(
+        strategy=strategy, weight=weight, size_frontier=size_frontier,
+        keep_conc=keep_conc, max_explored=max_explored, delays=delays,
+        max_csc_signals=max_csc_signals, library=library,
+        resynthesise=resynthesise, verify=verify, verify_model=verify_model,
+        verify_max_states=verify_max_states)
+    label = name or (stg.name if stg is not None else initial_sg.name)
+    result = run_pipeline(config, stg=stg, initial_sg=initial_sg,
+                          name=label, store=store)
+    return _flow_result(result, label, spec, stg)
 
 
 def run_flow(spec: PartialSpec,
@@ -269,7 +256,9 @@ def run_flow(spec: PartialSpec,
              resynthesise: bool = False,
              name: Optional[str] = None,
              verify: bool = False,
-             verify_model: str = "atomic") -> FlowResult:
+             verify_model: str = "atomic",
+             verify_max_states: Optional[int] = None,
+             store: Optional[ArtifactStore] = None) -> FlowResult:
     """The complete Fig. 4 pipeline from a partial specification.
 
     ``reduce=False`` keeps maximal concurrency (the "Max. concurrency" rows);
@@ -281,19 +270,23 @@ def run_flow(spec: PartialSpec,
         strategy = "none"
     elif full:
         strategy = "full"
-    expanded = expand(spec, phases=phases, extra_constraints=extra_constraints)
-    return run_flow_stg(expanded, strategy=strategy, keep_conc=keep_conc,
-                        size_frontier=size_frontier, weight=weight,
-                        max_explored=max_explored, delays=delays,
-                        max_csc_signals=max_csc_signals, library=library,
-                        resynthesise=resynthesise,
-                        name=name or spec.name, spec=spec,
-                        verify=verify, verify_model=verify_model)
+    config = FlowConfig.create(
+        strategy=strategy, weight=weight, size_frontier=size_frontier,
+        keep_conc=keep_conc, max_explored=max_explored, delays=delays,
+        max_csc_signals=max_csc_signals, library=library,
+        resynthesise=resynthesise, phases=phases, verify=verify,
+        verify_model=verify_model, verify_max_states=verify_max_states)
+    label = name or spec.name
+    result = run_pipeline(config, spec=spec,
+                          extra_constraints=extra_constraints,
+                          name=label, store=store)
+    return _flow_result(result, label, spec, result.expanded_stg())
 
 
 def implement_stg(stg: STG, name: Optional[str] = None,
                   delays: DelayModel = TABLE1_DELAYS,
                   **kwargs) -> ImplementationReport:
     """Convenience: generate the SG of a complete STG and implement it."""
+    from .sg.generator import generate_sg
     sg = generate_sg(stg)
     return implement(sg, name=name or stg.name, delays=delays, **kwargs)

@@ -49,7 +49,7 @@ class ComplexityEstimate:
 #: Memo for per-function QM literal counts (the fast path memoizes inside
 #: the minimizer itself); reductions of unrelated events often leave a
 #: signal's (ON, DC) pair untouched, so hits are common.
-_LITERAL_CACHE: Dict[tuple, int] = engine.register_cache({})
+_LITERAL_CACHE: Dict[tuple, int] = engine.register_cache({}, name="logic-literal-count")
 
 
 def _cached_literals(function, fast: bool) -> int:

@@ -220,7 +220,7 @@ def minimize(num_vars: int, on: Iterable[Sequence[int]],
 #: exploration loop evaluates thousands of sibling SGs whose signals mostly
 #: keep their (ON, DC) sets.
 _FAST_MEMO: Dict[Tuple[int, FrozenSet[int], FrozenSet[int]],
-                 Tuple[PackedCube, ...]] = engine.register_cache({})
+                 Tuple[PackedCube, ...]] = engine.register_cache({}, name="logic-minimize")
 
 _FAST_MEMO_LIMIT = 200_000
 

@@ -1,0 +1,40 @@
+"""The staged Fig. 4 pipeline: one config, typed artifacts, unified store.
+
+This package is the spine the whole system runs on:
+
+* :mod:`.config` -- :class:`FlowConfig`, the single source of truth for
+  every design-point knob (and the per-strategy search defaults);
+* :mod:`.hashing` -- the one home for canonical renderings and content
+  digests (graph, netlist, config);
+* :mod:`.artifacts` -- serializable stage artifacts and their codecs;
+* :mod:`.store` -- the process-safe content-addressed
+  :class:`ArtifactStore` shared by pipeline stages, sweep rows and
+  verification certificates;
+* :mod:`.stages` -- :func:`run_pipeline`, the staged evaluation with
+  stage-granular warm-store resume.
+
+``repro.flow`` keeps the familiar ``run_flow``/``run_flow_stg``/
+``implement`` entry points as thin wrappers over :func:`run_pipeline`.
+"""
+
+from .config import (DEFAULT_VERIFY_MAX_STATES, STAGE_ORDER,
+                     STRATEGY_DEFAULTS, STRATEGIES, FlowConfig,
+                     delays_from_payload, delays_payload, library_name,
+                     register_library, resolve_library)
+from .hashing import (canonical, digest_payload, graph_digest,
+                      netlist_digest, netlist_payload, text_digest)
+from .stages import (PipelineError, PipelineResult, ReductionSummary,
+                     StageResult, cached_graph_digest, run_pipeline,
+                     run_reduction)
+from .store import STORE_SCHEMA, ArtifactStore
+
+__all__ = [
+    "DEFAULT_VERIFY_MAX_STATES", "STAGE_ORDER", "STRATEGY_DEFAULTS",
+    "STRATEGIES", "FlowConfig", "delays_from_payload", "delays_payload",
+    "library_name", "register_library", "resolve_library",
+    "canonical", "digest_payload", "graph_digest", "netlist_digest",
+    "netlist_payload", "text_digest",
+    "PipelineError", "PipelineResult", "ReductionSummary", "StageResult",
+    "cached_graph_digest", "run_pipeline", "run_reduction",
+    "STORE_SCHEMA", "ArtifactStore",
+]

@@ -1,0 +1,479 @@
+"""The Fig. 4 flow as named stages with content-addressed resume.
+
+``run_pipeline`` evaluates one :class:`~repro.pipeline.config.FlowConfig`
+through the stage chain
+
+    expand -> generate -> reduce -> resolve -> synthesize -> timing -> verify
+
+Each stage is keyed by ``digest(stage, schema, config slice, input content
+digests)`` and produces a serializable payload (:mod:`.artifacts`).  With
+an :class:`~repro.pipeline.store.ArtifactStore`, a stage whose key hits is
+served from disk without recomputation, so warm re-runs skip exactly the
+stages whose inputs changed: a delays-only config change recomputes timing
+(and verification) but reuses expansion, SG generation, reduction, CSC
+resolution and synthesis.  Keys bind to *content* digests, so two design
+points that reduce to the same state graph share every downstream artifact
+even within one cold run.
+
+Determinism: stages always consume the payload-decoded form of their
+inputs (never the live object a previous stage produced in this process),
+so cold and warm evaluations start every stage from bit-identical inputs
+and the final reports are byte-identical -- across runs, hash seeds, and
+serial vs parallel sweeps.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import weakref
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from .. import engine
+from ..circuit.synthesize import (CircuitImplementation, estimate_circuit_area,
+                                  synthesize_circuit)
+from ..encoding.insertion import resolve_csc
+from ..petri.parser import parse_stg, write_stg
+from ..reduction.explore import (ExplorationResult, ExplorationStats,
+                                 full_reduction_with_stats, reduce_concurrency)
+from ..sg.generator import generate_sg
+from ..sg.graph import StateGraph
+from ..sg.resynthesis import ResynthesisError, resynthesise_stg
+from ..timing.critical_cycle import TimingError, critical_cycle
+from .artifacts import (circuit_from_payload, circuit_payload,
+                        cycle_from_payload, cycle_payload,
+                        insertion_from_payload, insertion_payload,
+                        netlist_from_payload, sg_from_payload, sg_to_payload,
+                        spec_payload)
+from .config import STAGE_ORDER, FlowConfig
+from .hashing import digest_payload, graph_digest, text_digest
+from .store import ArtifactStore
+
+#: Worker-side decode memo: payload digest -> decoded state graph.  Sweep
+#: points of one spec decode the same initial-SG payload thousands of
+#: times; stages never mutate their inputs, so sharing the decoded object
+#: is safe.  Registered with the engine so benchmarks can clear it, and
+#: bounded (whole-table reset on overflow, like the minimizer memo) so
+#: long-lived processes cannot accumulate graphs without end.
+_DECODED_SG: Dict[str, StateGraph] = engine.register_cache(
+    {}, name="pipeline-decoded-sg")
+_DECODED_SG_LIMIT = 512
+
+#: Encode memo for pre-generated state graphs handed to the pipeline
+#: (sweep workers cache one SG per spec): graph -> (version, payload).
+_SG_PAYLOAD_MEMO: "weakref.WeakKeyDictionary[StateGraph, Tuple[int, Dict]]" \
+    = engine.register_cache(weakref.WeakKeyDictionary(),
+                            name="pipeline-sg-payload")
+
+#: Digest memo for pre-generated state graphs: graph -> (version, digest).
+_GRAPH_DIGEST_MEMO: "weakref.WeakKeyDictionary[StateGraph, Tuple[int, str]]" \
+    = engine.register_cache(weakref.WeakKeyDictionary(),
+                            name="pipeline-graph-digest")
+
+
+class PipelineError(Exception):
+    """Raised when the pipeline cannot be driven from the given inputs."""
+
+
+def _cached_sg_payload(sg: StateGraph) -> Dict[str, object]:
+    entry = _SG_PAYLOAD_MEMO.get(sg)
+    if entry is not None and entry[0] == sg._version:
+        return entry[1]
+    payload = sg_to_payload(sg)
+    _SG_PAYLOAD_MEMO[sg] = (sg._version, payload)
+    return payload
+
+
+def cached_graph_digest(sg: StateGraph) -> str:
+    """:func:`~repro.pipeline.hashing.graph_digest`, memoized per version."""
+    entry = _GRAPH_DIGEST_MEMO.get(sg)
+    if entry is not None and entry[0] == sg._version:
+        return entry[1]
+    digest = graph_digest(sg)
+    _GRAPH_DIGEST_MEMO[sg] = (sg._version, digest)
+    return digest
+
+
+def _decode_sg(payload: Dict[str, object], digest: str) -> StateGraph:
+    sg = _DECODED_SG.get(digest)
+    if sg is None:
+        sg = sg_from_payload(payload)
+        if len(_DECODED_SG) >= _DECODED_SG_LIMIT:
+            _DECODED_SG.clear()
+        _DECODED_SG[digest] = sg
+    return sg
+
+
+@dataclass
+class StageResult:
+    """One evaluated (or cache-served) stage."""
+
+    stage: str
+    payload: object
+    digest: str
+    key: Optional[str]
+    cached: bool
+    #: The stage-native object, present only when the stage actually ran in
+    #: this process (e.g. the full :class:`ExplorationResult` with its
+    #: history, or the synthesized circuit with minimized covers).
+    live: object = None
+
+
+@dataclass(frozen=True)
+class ReductionSummary:
+    """Store-served stand-in for a live :class:`ExplorationResult`."""
+
+    strategy: str
+    initial_cost: Optional[float]
+    best_cost: Optional[float]
+    stats: Optional[ExplorationStats]
+
+    @property
+    def improved(self) -> bool:
+        return (self.best_cost is not None and self.initial_cost is not None
+                and self.best_cost < self.initial_cost)
+
+
+def run_reduction(config: FlowConfig, sg: StateGraph
+                  ) -> Tuple[StateGraph, Optional[ExplorationResult],
+                             Optional[ExplorationStats]]:
+    """Apply the configured reduction strategy to a live state graph.
+
+    The single implementation behind both :func:`repro.flow.reduce_sg` and
+    the pipeline's reduce stage; per-strategy frontier/budget defaults come
+    from :data:`repro.pipeline.config.STRATEGY_DEFAULTS`.
+    """
+    if config.strategy == "none":
+        return sg, None, None
+    if config.strategy == "full":
+        chosen, stats = full_reduction_with_stats(
+            sg, keep_conc=config.keep_conc,
+            size_frontier=config.effective_frontier(),
+            weight=config.weight,
+            max_explored=config.effective_max_explored())
+        return chosen, None, stats
+    exploration = reduce_concurrency(
+        sg, keep_conc=config.keep_conc,
+        size_frontier=config.effective_frontier(),
+        weight=config.weight,
+        max_explored=config.effective_max_explored(),
+        strategy=config.strategy)
+    return exploration.best, exploration, exploration.stats
+
+
+def _execute(store: Optional[ArtifactStore], stage: str,
+             config_slice: Dict[str, object],
+             inputs: Callable[[], List[str]],
+             compute: Callable[[], Tuple[object, object]]) -> StageResult:
+    """Serve a stage from the store or compute-and-persist it.
+
+    ``inputs`` is a thunk producing the input content digests: key
+    derivation (and the digesting behind it) only happens when a store is
+    actually in play.
+    """
+    key = None
+    if store is not None:
+        key = ArtifactStore.stage_key(stage, config_slice, inputs())
+        entry = store.get_entry(key, stage=stage)
+        if entry is not None:
+            return StageResult(stage, entry["payload"], entry["digest"],
+                               key, cached=True)
+    payload, live = compute()
+    digest = digest_payload(payload)
+    if store is not None:
+        store.put_entry(key, stage, payload, digest=digest)
+    return StageResult(stage, payload, digest, key, cached=False, live=live)
+
+
+@dataclass
+class PipelineResult:
+    """Everything one pipeline evaluation produced, stage by stage.
+
+    ``sg_digests`` carries the content digests of the generate/reduce/
+    resolve graph payloads computed during the run, so accessors never
+    re-serialize a payload just to name it.
+    """
+
+    config: FlowConfig
+    name: str
+    results: Dict[str, StageResult]
+    store: Optional[ArtifactStore] = None
+    sg_digests: Dict[str, str] = field(default_factory=dict)
+    _decoded: Dict[str, object] = field(default_factory=dict, repr=False)
+
+    # ------------------------------------------------------------------
+    # cache accounting
+    # ------------------------------------------------------------------
+    def stage_status(self) -> Dict[str, str]:
+        """``{stage: "cached" | "computed"}`` in execution order."""
+        return {stage: ("cached" if self.results[stage].cached else "computed")
+                for stage in STAGE_ORDER if stage in self.results}
+
+    # ------------------------------------------------------------------
+    # decoded artifact accessors (memoized per result)
+    # ------------------------------------------------------------------
+    def _sg(self, stage: str, payload: Dict[str, object]) -> StateGraph:
+        """A per-result decode of a graph payload.
+
+        Deliberately *not* served from the process-global ``_DECODED_SG``
+        memo: graphs handed to callers are theirs to mutate, and a shared
+        object would poison every later evaluation with the same digest.
+        """
+        key = "sg:" + self.sg_digests[stage]
+        if key not in self._decoded:
+            self._decoded[key] = sg_from_payload(payload)
+        return self._decoded[key]
+
+    def stg_text(self) -> Optional[str]:
+        expand = self.results.get("expand")
+        return None if expand is None else expand.payload["stg"]
+
+    def expanded_stg(self):
+        """The handshake-expanded STG (live when expansion ran here)."""
+        expand = self.results.get("expand")
+        if expand is None:
+            return None
+        return expand.live if expand.live is not None \
+            else parse_stg(expand.payload["stg"])
+
+    def initial_sg(self) -> StateGraph:
+        return self._sg("generate", self.results["generate"].payload)
+
+    def reduced_sg(self) -> StateGraph:
+        return self._sg("reduce", self.results["reduce"].payload["sg"])
+
+    def resolved_sg(self) -> StateGraph:
+        return self._sg("resolve", self.results["resolve"].payload["sg"])
+
+    def insertions(self) -> List:
+        return [insertion_from_payload(entry)
+                for entry in self.results["resolve"].payload["insertions"]]
+
+    def csc_resolved(self) -> bool:
+        return self.results["resolve"].payload["resolved"]
+
+    def exploration(self):
+        """The live exploration when this process ran the reduce stage, a
+        :class:`ReductionSummary` when the store served it, ``None`` for
+        the strategies that do not search (``none``/``full``)."""
+        if self.config.strategy not in ("beam", "best-first"):
+            return None
+        result = self.results["reduce"]
+        if result.live is not None:
+            return result.live
+        return ReductionSummary(strategy=self.config.strategy,
+                                initial_cost=result.payload["initial_cost"],
+                                best_cost=result.payload["best_cost"],
+                                stats=self.reduction_stats())
+
+    def reduction_stats(self) -> Optional[ExplorationStats]:
+        stats = self.results["reduce"].payload["stats"]
+        return None if stats is None else ExplorationStats(**stats)
+
+    def circuit(self) -> Optional[CircuitImplementation]:
+        result = self.results["synthesize"]
+        if result.live is not None:
+            return result.live
+        payload = result.payload["circuit"]
+        if payload is None:
+            return None
+        key = "circuit:" + result.digest
+        if key not in self._decoded:
+            self._decoded[key] = circuit_from_payload(
+                payload, self.config.resolved_library())
+        return self._decoded[key]
+
+    def area_estimate(self) -> Optional[float]:
+        return self.results["synthesize"].payload["area_estimate"]
+
+    def resynthesised_stg(self):
+        text = self.results["synthesize"].payload["stg"]
+        return None if text is None else parse_stg(text)
+
+    def cycle(self):
+        return cycle_from_payload(self.results["timing"].payload["cycle"])
+
+    def verification(self):
+        result = self.results.get("verify")
+        if result is None:
+            return None
+        if result.live is not None:
+            return result.live
+        from ..verify.certificate import VerificationReport
+        return VerificationReport.from_dict(result.payload)
+
+
+def run_pipeline(config: FlowConfig,
+                 spec=None,
+                 stg=None,
+                 stg_text: Optional[str] = None,
+                 initial_sg: Optional[StateGraph] = None,
+                 extra_constraints=(),
+                 name: Optional[str] = None,
+                 store: Optional[ArtifactStore] = None) -> PipelineResult:
+    """Evaluate one design point through the staged Fig. 4 flow.
+
+    Exactly one entry point must be given: a :class:`PartialSpec`
+    (runs handshake expansion first), an :class:`STG`/``.g`` text (starts
+    at SG generation) or a pre-generated ``initial_sg`` (the sweep's entry;
+    also how :func:`repro.flow.implement` evaluates an already-reduced
+    graph under ``strategy="none"``).
+    """
+    results: Dict[str, StageResult] = {}
+
+    # ------------------------------------------------------------ expand
+    if spec is not None:
+        expand_slice = dict(config.slice_for("expand"))
+        if extra_constraints:
+            expand_slice["constraints"] = [repr(constraint)
+                                           for constraint in extra_constraints]
+
+        def compute_expand():
+            from ..hse.expansion import expand
+            expanded = expand(spec, phases=config.phases,
+                              extra_constraints=extra_constraints)
+            return {"stg": write_stg(expanded)}, expanded
+
+        results["expand"] = _execute(
+            store, "expand", expand_slice,
+            lambda: [digest_payload(spec_payload(spec))], compute_expand)
+        stg_text = results["expand"].payload["stg"]
+    elif stg is not None and stg_text is None:
+        stg_text = write_stg(stg)
+
+    # ---------------------------------------------------------- generate
+    if initial_sg is not None:
+        sg_given = initial_sg
+        results["generate"] = _execute(
+            store, "generate", {}, lambda: [cached_graph_digest(sg_given)],
+            lambda: (_cached_sg_payload(sg_given), None))
+    elif stg_text is not None:
+        text = stg_text
+        results["generate"] = _execute(
+            store, "generate", {}, lambda: [text_digest(text)],
+            lambda: (sg_to_payload(generate_sg(parse_stg(text))), None))
+    else:
+        raise PipelineError(
+            "run_pipeline needs a spec, an STG (or .g text), or a "
+            "pre-generated initial_sg")
+    initial_digest = results["generate"].digest
+
+    # ------------------------------------------------------------ reduce
+    def compute_reduce():
+        decoded = _decode_sg(results["generate"].payload, initial_digest)
+        chosen, live, stats = run_reduction(config, decoded)
+        if config.strategy == "none":
+            sg_payload = results["generate"].payload
+        else:
+            sg_payload = sg_to_payload(chosen)
+        payload = {
+            "sg": sg_payload,
+            "initial_cost": None if live is None else live.initial_cost,
+            "best_cost": None if live is None else live.best_cost,
+            "stats": None if stats is None else dataclasses.asdict(stats),
+        }
+        return payload, live
+
+    results["reduce"] = _execute(store, "reduce", config.slice_for("reduce"),
+                                 lambda: [initial_digest], compute_reduce)
+    reduced_payload = results["reduce"].payload["sg"]
+    reduced_digest = digest_payload(reduced_payload)
+
+    # ----------------------------------------------------------- resolve
+    def compute_resolve():
+        decoded = _decode_sg(reduced_payload, reduced_digest)
+        resolution = resolve_csc(decoded,
+                                 max_signals=config.max_csc_signals)
+        payload = {
+            "sg": sg_to_payload(resolution.sg),
+            "insertions": [insertion_payload(choice)
+                           for choice in resolution.insertions],
+            "resolved": resolution.resolved,
+        }
+        return payload, None
+
+    results["resolve"] = _execute(store, "resolve",
+                                  config.slice_for("resolve"),
+                                  lambda: [reduced_digest], compute_resolve)
+    resolved_payload = results["resolve"].payload["sg"]
+    resolved_digest = digest_payload(resolved_payload)
+    resolved_ok = results["resolve"].payload["resolved"]
+
+    # -------------------------------------------------------- synthesize
+    def compute_synthesize():
+        decoded = _decode_sg(resolved_payload, resolved_digest)
+        library = config.resolved_library()
+        circuit: Optional[CircuitImplementation] = None
+        area_estimate: Optional[float] = None
+        if resolved_ok:
+            try:
+                circuit = synthesize_circuit(decoded,
+                                             exact=config.exact_covers,
+                                             library=library)
+            except ValueError:
+                circuit = None  # 2-phase (toggle) SGs have no SOP logic
+        else:
+            try:
+                area_estimate = estimate_circuit_area(decoded, library)
+            except ValueError:
+                area_estimate = None
+        resynthesised: Optional[str] = None
+        if config.resynthesise:
+            try:
+                resynthesised = write_stg(resynthesise_stg(decoded))
+            except ResynthesisError:
+                resynthesised = None
+        payload = {
+            "circuit": None if circuit is None else circuit_payload(circuit),
+            "area_estimate": area_estimate,
+            "stg": resynthesised,
+        }
+        return payload, circuit
+
+    results["synthesize"] = _execute(store, "synthesize",
+                                     config.slice_for("synthesize"),
+                                     lambda: [resolved_digest],
+                                     compute_synthesize)
+
+    # ------------------------------------------------------------ timing
+    def compute_timing():
+        decoded = _decode_sg(resolved_payload, resolved_digest)
+        try:
+            cycle = critical_cycle(decoded, config.delays)
+        except TimingError:
+            cycle = None
+        return {"cycle": cycle_payload(cycle)}, cycle
+
+    results["timing"] = _execute(store, "timing", config.slice_for("timing"),
+                                 lambda: [resolved_digest], compute_timing)
+
+    # ------------------------------------------------------------ verify
+    label = name or resolved_payload["name"]
+    if config.verify:
+        from ..verify.certificate import skipped_report, verify_netlist
+        circuit_section = results["synthesize"].payload["circuit"]
+        if circuit_section is None:
+            report = skipped_report(
+                label, "no synthesized circuit (unresolved CSC or "
+                "toggle specification)", model=config.verify_model)
+            payload = report.to_dict()
+            results["verify"] = StageResult(
+                "verify", payload, digest_payload(payload), None,
+                cached=False, live=report)
+        else:
+            netlist = netlist_from_payload(circuit_section["netlist"],
+                                           config.resolved_library())
+            decoded = _decode_sg(resolved_payload, resolved_digest)
+            report, cached = verify_netlist(
+                netlist, decoded, model=config.verify_model,
+                max_states=config.verify_max_states, name=label, store=store)
+            payload = report.to_dict()
+            results["verify"] = StageResult(
+                "verify", payload, digest_payload(payload), None,
+                cached=cached, live=report)
+
+    return PipelineResult(config=config, name=label, results=results,
+                          store=store,
+                          sg_digests={"generate": initial_digest,
+                                      "reduce": reduced_digest,
+                                      "resolve": resolved_digest})

@@ -1,0 +1,175 @@
+"""Process-safe content-addressed artifact store.
+
+One directory of ``<key>.json`` entries serves every cache in the system:
+per-stage pipeline artifacts, sweep point rows and verification
+certificates.  Keys are SHA-256 digests (:mod:`repro.pipeline.hashing`)
+over ``(stage, schema version, config slice, input digests)``, so the same
+content is never computed twice -- across re-runs, overlapping grids,
+worker processes and even different design points that happen to share an
+intermediate result.
+
+Writes go through a unique temporary file followed by :func:`os.replace`,
+which is atomic on POSIX and Windows; concurrent runs over the same store
+directory at worst recompute an artifact and overwrite it with identical
+bytes.  Entries with an unknown schema version, a different stage name or
+unreadable JSON are treated as absent (and recomputed), never as errors,
+so stores survive upgrades and corruption gracefully.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional
+
+from .hashing import digest_payload
+
+#: Bump when the entry layout or key derivation changes; old entries are
+#: simply never looked up again (``repro cache gc`` reclaims the bytes).
+STORE_SCHEMA = 1
+
+
+class ArtifactStore:
+    """A directory of ``<key>.json`` artifacts, one per completed stage."""
+
+    def __init__(self, root) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    # keys and paths
+    # ------------------------------------------------------------------
+    @staticmethod
+    def stage_key(stage: str, config_slice: Dict[str, object],
+                  inputs: List[str]) -> str:
+        """Content-addressed key for one stage evaluation."""
+        return digest_payload({"stage": stage, "schema": STORE_SCHEMA,
+                               "config": config_slice, "inputs": inputs})
+
+    def _path(self, key: str) -> Path:
+        return self.root / f"{key}.json"
+
+    # ------------------------------------------------------------------
+    # entries
+    # ------------------------------------------------------------------
+    def get_entry(self, key: str,
+                  stage: Optional[str] = None) -> Optional[Dict[str, object]]:
+        """The stored entry, or ``None`` when absent, corrupt or outdated.
+
+        ``stage`` additionally requires the entry to belong to that stage
+        (a safety net against digest collisions across key derivations).
+        """
+        try:
+            with open(self._path(key), "r", encoding="utf-8") as handle:
+                entry = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            return None
+        if not isinstance(entry, dict) or entry.get("schema") != STORE_SCHEMA:
+            return None
+        if "payload" not in entry or "stage" not in entry:
+            return None
+        if stage is not None and entry["stage"] != stage:
+            return None
+        return entry
+
+    def put_entry(self, key: str, stage: str, payload,
+                  digest: Optional[str] = None) -> Dict[str, object]:
+        """Atomically persist an artifact (last writer wins, never torn)."""
+        entry = {
+            "schema": STORE_SCHEMA,
+            "stage": stage,
+            "digest": digest if digest is not None else digest_payload(payload),
+            "payload": payload,
+        }
+        text = json.dumps(entry, indent=2, sort_keys=True) + "\n"
+        descriptor, temp_name = tempfile.mkstemp(
+            prefix=f".{key[:16]}-", suffix=".tmp", dir=self.root)
+        try:
+            with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
+                handle.write(text)
+            os.replace(temp_name, self._path(key))
+        except BaseException:
+            try:
+                os.unlink(temp_name)
+            except OSError:
+                pass
+            raise
+        return entry
+
+    # ------------------------------------------------------------------
+    # maintenance (the ``repro cache`` surface)
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, object]:
+        """Entry count, total bytes and per-stage entry counts."""
+        per_stage: Dict[str, int] = {}
+        total_bytes = 0
+        entries = 0
+        for path in sorted(self.root.glob("*.json")):
+            entries += 1
+            try:
+                total_bytes += path.stat().st_size
+            except OSError:
+                continue
+            try:
+                with open(path, "r", encoding="utf-8") as handle:
+                    entry = json.load(handle)
+                stage = entry.get("stage", "unknown") \
+                    if isinstance(entry, dict) else "unknown"
+                if isinstance(entry, dict) \
+                        and entry.get("schema") != STORE_SCHEMA:
+                    stage = f"outdated:{stage}"
+            except (OSError, json.JSONDecodeError):
+                stage = "corrupt"
+            per_stage[stage] = per_stage.get(stage, 0) + 1
+        return {"root": str(self.root), "entries": entries,
+                "bytes": total_bytes,
+                "stages": dict(sorted(per_stage.items()))}
+
+    def gc(self, max_bytes: int) -> Dict[str, int]:
+        """Delete oldest entries (by mtime) until the store fits the budget."""
+        files = []
+        total = 0
+        for path in self.root.glob("*.json"):
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            files.append((stat.st_mtime, path.name, path, stat.st_size))
+            total += stat.st_size
+        deleted = freed = 0
+        for _, __, path, size in sorted(files):
+            if total - freed <= max_bytes:
+                break
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            deleted += 1
+            freed += size
+        return {"deleted": deleted, "freed_bytes": freed,
+                "remaining_bytes": total - freed}
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        removed = 0
+        for path in self.root.glob("*.json"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                continue
+        return removed
+
+    # ------------------------------------------------------------------
+    # iteration
+    # ------------------------------------------------------------------
+    def keys(self) -> List[str]:
+        return sorted(path.stem for path in self.root.glob("*.json"))
+
+    def __len__(self) -> int:
+        return len(self.keys())
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.keys())

@@ -42,7 +42,7 @@ class CostBreakdown:
 #: (literal estimate, CSC conflict pairs, state count).  Shared globally so
 #: sweeps over ``W`` or the frontier width re-measure nothing.
 _TERM_MEMO: Dict[Tuple[FrozenSet, bool], Tuple[int, int, int]] = (
-    engine.register_cache({}))
+    engine.register_cache({}, name="reduction-cost"))
 
 
 def _measured_terms(sg: StateGraph, signature: FrozenSet,

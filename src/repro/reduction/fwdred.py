@@ -50,7 +50,7 @@ class ReductionResult:
 #: knobs, and the result of a reduction is a pure function of the parent
 #: graph.  The stored version detects callers mutating a shared candidate.
 _REDUCTION_MEMO: Dict[tuple, Tuple["ReductionResult", int]] = (
-    engine.register_cache({}))
+    engine.register_cache({}, name="reduction-results"))
 
 
 def forward_reduction(sg: StateGraph, delayed: str, before: str,

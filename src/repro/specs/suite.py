@@ -116,13 +116,23 @@ def suite_names() -> List[str]:
     return sorted(_SOURCES)
 
 
-def load(name: str) -> STG:
-    """Parse one suite benchmark by name."""
+def source_text(name: str) -> str:
+    """The raw ``.g`` source of one suite benchmark.
+
+    The staged pipeline can be driven from ``.g`` text directly
+    (``run_pipeline(config, stg_text=...)``), keying SG generation on the
+    text digest without parsing first.
+    """
     try:
-        return parse_stg(_SOURCES[name])
+        return _SOURCES[name]
     except KeyError:
         raise KeyError(f"unknown suite benchmark {name!r}; "
                        f"available: {suite_names()}") from None
+
+
+def load(name: str) -> STG:
+    """Parse one suite benchmark by name."""
+    return parse_stg(source_text(name))
 
 
 def load_all() -> Dict[str, STG]:

@@ -14,16 +14,16 @@ Parallel results are byte-identical to serial ones, rows included and in
 grid order; see :mod:`repro.sweep.runner` for how.
 """
 
-from .grid import (SweepGrid, SweepPoint, keep_variants, make_point,
-                   spec_registry, tables_grid)
+from .grid import (SweepGrid, SweepPoint, canonical_delays, keep_variants,
+                   make_point, spec_registry, tables_grid)
 from .report import COLUMNS, FORMATS, render, to_csv, to_json, to_markdown
 from .runner import SweepOutcome, evaluate_point, run_sweep
-from .store import ResultStore, graph_digest
+from .store import ArtifactStore, ResultStore, graph_digest
 
 __all__ = [
-    "SweepGrid", "SweepPoint", "keep_variants", "make_point",
-    "spec_registry", "tables_grid",
+    "SweepGrid", "SweepPoint", "canonical_delays", "keep_variants",
+    "make_point", "spec_registry", "tables_grid",
     "COLUMNS", "FORMATS", "render", "to_csv", "to_json", "to_markdown",
     "SweepOutcome", "evaluate_point", "run_sweep",
-    "ResultStore", "graph_digest",
+    "ArtifactStore", "ResultStore", "graph_digest",
 ]

@@ -1,28 +1,39 @@
 """Declarative design-space grids (the Tables 1-2 rows, for every spec).
 
 A :class:`SweepPoint` names one design point -- ``(spec, strategy, W,
-frontier, keep_conc)`` -- in normalized form, so that two spellings of the
-same point (e.g. ``none`` at different weights, or Keep_Conc pairs listed
-in a different order) collapse to one grid entry.  :func:`tables_grid`
-builds the full grid the paper's Tables 1 and 2 sample: maximal
-concurrency, the searched reductions at several weights ``W``, full
-reduction, and the named ``x || y`` Keep_Conc variants.
+frontier, keep_conc, delays, verify)`` -- in normalized form, so that two
+spellings of the same point (e.g. ``none`` at different weights, or
+Keep_Conc pairs listed in a different order) collapse to one grid entry.
+Every point compiles to a frozen :class:`~repro.pipeline.FlowConfig`
+(:meth:`SweepPoint.flow_config`), the single source of truth the staged
+pipeline evaluates; per-strategy frontier/budget defaults therefore come
+from :data:`repro.pipeline.STRATEGY_DEFAULTS` and cannot drift from the
+flow.  :func:`tables_grid` builds the full grid the paper's Tables 1 and 2
+sample: maximal concurrency, the searched reductions at several weights
+``W``, full reduction, and the named ``x || y`` Keep_Conc variants.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from fractions import Fraction
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..flow import STRATEGIES
 from ..petri.stg import STG
+from ..pipeline.config import STRATEGY_DEFAULTS, FlowConfig, canonical_keep
+from ..pipeline.hashing import fraction_text
 from ..specs import suite
 from ..specs.fig1 import fig1_stg
 from ..specs.lr import TABLE1_KEEP_CONC, lr_expanded
 from ..specs.mmu import TABLE2_KEEP_CONC, keep_conc_for, mmu_expanded
 from ..specs.par import par_expanded
+from ..timing.delays import DelayModel
 
 KeepPairs = Tuple[Tuple[str, str], ...]
+
+#: The Table 1 per-kind delays (input, output, internal) in canonical text.
+TABLE1_DELAY_AXIS = ("2", "1", "1")
 
 
 def spec_registry() -> Dict[str, Callable[[], STG]]:
@@ -47,8 +58,26 @@ def keep_variants(spec: str) -> Dict[str, List[Tuple[str, str]]]:
     return {}
 
 
-def _canonical_keep(keep: Iterable[Tuple[str, str]]) -> KeepPairs:
-    return tuple(sorted(tuple(sorted(pair)) for pair in keep))
+def canonical_delays(delays) -> Tuple[str, str, str]:
+    """Normalize a delay axis to canonical (input, output, internal) text.
+
+    Accepts ``None`` (the Table 1 model), a 3-sequence of numbers/strings,
+    or a :class:`DelayModel` without overrides (per-signal overrides are a
+    flow-level feature, not a sweep axis).  ``fraction_text`` normalizes
+    every spelling the way :meth:`DelayModel.by_kind` does, so ``0.1`` and
+    ``Fraction(1, 10)`` name the same axis.
+    """
+    if delays is None:
+        return TABLE1_DELAY_AXIS
+    if isinstance(delays, DelayModel):
+        if delays.overrides:
+            raise ValueError("sweep delay axes cannot carry per-signal "
+                             "overrides; use the flow API instead")
+        delays = (delays.input_delay, delays.output_delay,
+                  delays.internal_delay)
+    input_delay, output_delay, internal_delay = delays
+    return (fraction_text(input_delay), fraction_text(output_delay),
+            fraction_text(internal_delay))
 
 
 @dataclass(frozen=True)
@@ -57,11 +86,12 @@ class SweepPoint:
 
     ``weight`` and ``frontier`` are ``None`` when the strategy ignores them
     (``none`` ignores both, ``best-first`` has no frontier), so equal points
-    compare equal no matter how they were spelled.  ``verify`` runs the
+    compare equal no matter how they were spelled.  ``delays`` is the
+    canonical (input, output, internal) delay text; ``verify`` runs the
     gate-level verification subsystem on the synthesized implementation
-    (:mod:`repro.verify`) and adds its verdict to the row.  ``variant`` is a
-    display name for Keep_Conc rows ("li || ri"); it is not part of the
-    identity.
+    (:mod:`repro.verify`) with an optional ``verify_max_states`` product
+    state cap and adds its verdict to the row.  ``variant`` is a display
+    name for Keep_Conc rows ("li || ri"); it is not part of the identity.
     """
 
     spec: str
@@ -70,13 +100,16 @@ class SweepPoint:
     frontier: Optional[int] = None
     keep: KeepPairs = ()
     max_explored: Optional[int] = None
+    delays: Tuple[str, str, str] = TABLE1_DELAY_AXIS
     verify: bool = False
+    verify_max_states: Optional[int] = None
     variant: str = ""
 
     def key(self) -> tuple:
         """Hashable identity (everything but the display name)."""
         return (self.spec, self.strategy, self.weight, self.frontier,
-                self.keep, self.max_explored, self.verify)
+                self.keep, self.max_explored, self.delays, self.verify,
+                self.verify_max_states)
 
     def config(self) -> Dict[str, object]:
         """JSON-ready configuration for store keys and reports."""
@@ -87,8 +120,28 @@ class SweepPoint:
             "frontier": self.frontier,
             "keep": [list(pair) for pair in self.keep],
             "max_explored": self.max_explored,
+            "delays": list(self.delays),
             "verify": self.verify,
+            "verify_max_states": self.verify_max_states,
         }
+
+    def delay_model(self) -> DelayModel:
+        input_delay, output_delay, internal_delay = self.delays
+        return DelayModel.by_kind(Fraction(input_delay),
+                                  Fraction(output_delay),
+                                  Fraction(internal_delay))
+
+    def flow_config(self) -> FlowConfig:
+        """The :class:`FlowConfig` the pipeline evaluates for this point."""
+        return FlowConfig.create(
+            strategy=self.strategy,
+            weight=0.5 if self.weight is None else self.weight,
+            size_frontier=self.frontier,
+            keep_conc=self.keep,
+            max_explored=self.max_explored,
+            delays=self.delay_model(),
+            verify=self.verify,
+            verify_max_states=self.verify_max_states)
 
     def label(self) -> str:
         parts = [self.spec, self.variant or self.strategy]
@@ -103,7 +156,9 @@ def make_point(spec: str,
                frontier: Optional[int] = None,
                keep: Iterable[Tuple[str, str]] = (),
                max_explored: Optional[int] = None,
+               delays=None,
                verify: bool = False,
+               verify_max_states: Optional[int] = None,
                variant: str = "") -> SweepPoint:
     """Build a normalized :class:`SweepPoint`; validates the strategy."""
     if strategy not in STRATEGIES:
@@ -111,7 +166,7 @@ def make_point(spec: str,
                          f"expected one of {STRATEGIES}")
     norm_weight: Optional[float] = float(weight)
     norm_frontier = frontier
-    norm_keep = _canonical_keep(keep)
+    norm_keep = canonical_keep(keep)
     if strategy == "none":
         norm_weight = None
         norm_frontier = None
@@ -120,14 +175,16 @@ def make_point(spec: str,
         variant = ""
     elif strategy == "best-first":
         norm_frontier = None    # no beam, no frontier width
-    elif strategy == "beam":
-        norm_frontier = 4 if frontier is None else int(frontier)
-    elif strategy == "full":
-        norm_frontier = 6 if frontier is None else int(frontier)
+    else:                       # beam / full: default width per strategy
+        default_frontier = STRATEGY_DEFAULTS[strategy][0]
+        norm_frontier = default_frontier if frontier is None else int(frontier)
+    if not verify:
+        verify_max_states = None  # cap is meaningless without verification
     return SweepPoint(spec=spec, strategy=strategy, weight=norm_weight,
                       frontier=norm_frontier, keep=norm_keep,
-                      max_explored=max_explored, verify=bool(verify),
-                      variant=variant)
+                      max_explored=max_explored,
+                      delays=canonical_delays(delays), verify=bool(verify),
+                      verify_max_states=verify_max_states, variant=variant)
 
 
 class SweepGrid:
@@ -166,14 +223,18 @@ def tables_grid(specs: Optional[Sequence[str]] = None,
                 frontier: Optional[int] = None,
                 include_keep_variants: bool = True,
                 max_explored: Optional[int] = None,
-                verify: bool = False) -> SweepGrid:
+                delays=None,
+                verify: bool = False,
+                verify_max_states: Optional[int] = None) -> SweepGrid:
     """The full Tables 1-2 style grid over the given specs.
 
     Per spec: one ``none`` point, one ``beam`` and one ``best-first`` point
     per weight ``W``, one ``full`` point, and (when enabled and the spec has
     them) every named Keep_Conc variant as a ``full`` reduction -- exactly
-    the rows the paper reports.  ``verify=True`` additionally runs the
-    gate-level verification subsystem on every point.
+    the rows the paper reports.  ``delays`` overrides the Table 1 delay
+    model for every point; ``verify=True`` additionally runs the gate-level
+    verification subsystem (capped at ``verify_max_states`` product states)
+    on every point.
     """
     registry = spec_registry()
     if specs is None:
@@ -191,16 +252,19 @@ def tables_grid(specs: Optional[Sequence[str]] = None,
                     grid.add(make_point(spec, strategy, weight=weight,
                                         frontier=frontier,
                                         max_explored=max_explored,
-                                        verify=verify))
+                                        delays=delays, verify=verify,
+                                        verify_max_states=verify_max_states))
             else:
                 grid.add(make_point(spec, strategy, frontier=frontier,
                                     max_explored=max_explored,
-                                    verify=verify))
+                                    delays=delays, verify=verify,
+                                    verify_max_states=verify_max_states))
         if include_keep_variants and "full" in strategies:
             for variant, pairs in keep_variants(spec).items():
                 grid.add(make_point(spec, "full", keep=pairs,
                                     frontier=frontier,
                                     max_explored=max_explored,
-                                    verify=verify,
+                                    delays=delays, verify=verify,
+                                    verify_max_states=verify_max_states,
                                     variant=variant))
     return grid

@@ -19,7 +19,7 @@ COLUMNS = (
     "states_max", "states", "csc_signals", "csc_resolved",
     "area", "cycle_time", "input_events",
     "explored", "expanded", "levels", "capped",
-    "verdict", "verify_states", "verify_arcs",
+    "verdict", "verify_states", "verify_arcs", "verify_max_states",
 )
 
 FORMATS = ("json", "csv", "md")

@@ -5,10 +5,15 @@ into deterministic spec-coherent chunks, and hands chunks to a worker pool
 (``jobs=1`` runs the very same chunk function in-process).  Workers cache
 the generated state graph per spec -- and, through the process-global
 engine memos, everything downstream of it -- so a chunk of same-spec points
-shares work the way a serial run does.  Results come back tagged with their
-grid index and are merged in grid order, which makes parallel output
-byte-identical to serial output regardless of scheduling; all wall-clock
-numbers live on the :class:`SweepOutcome`, never in the rows.
+shares work the way a serial run does.  Each point is evaluated through
+the staged pipeline (:func:`repro.pipeline.run_pipeline`); with a store,
+workers share the same artifact directory, so stages whose content-derived
+keys coincide (across points, strategies and even concurrent runs) are
+computed once and served from disk everywhere else.  Results come back
+tagged with their grid index and are merged in grid order, which makes
+parallel output byte-identical to serial output regardless of scheduling;
+all wall-clock numbers and cache accounting live on the
+:class:`SweepOutcome`, never in the rows.
 """
 
 from __future__ import annotations
@@ -16,22 +21,38 @@ from __future__ import annotations
 import math
 import multiprocessing
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from fractions import Fraction
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from .. import engine
-from ..flow import FlowResult, run_flow_stg
+from ..pipeline.config import STAGE_ORDER
+from ..pipeline.stages import cached_graph_digest, run_pipeline
 from ..sg.generator import generate_sg
 from ..sg.graph import StateGraph
 from .grid import SweepGrid, SweepPoint, spec_registry
-from .store import ResultStore, graph_digest
+from .store import ArtifactStore, ResultStore
 
 #: Worker-side cache: spec name -> generated state graph.  Module-global so
 #: it survives across chunks dispatched to the same worker process (and is
 #: inherited for free under the ``fork`` start method).  Registered with the
 #: engine so ``engine.clear_caches()`` resets it like every other pure memo
 #: (the benchmarks rely on that for honest cold-phase timings).
-_SG_CACHE: Dict[str, StateGraph] = engine.register_cache({})
+_SG_CACHE: Dict[str, StateGraph] = engine.register_cache(
+    {}, name="sweep-spec-sg")
+
+#: Artifact-store root the worker pool shares: set in-process by
+#: :func:`run_sweep` and in each pool worker by :func:`_init_worker` (a
+#: ``Pool`` initializer, so it reaches workers under every start method,
+#: ``spawn`` included).  Workers rebuild their own handle lazily (the
+#: store is directory-backed, so handles are cheap and process-safe).
+_ARTIFACT_ROOT: Optional[str] = None
+_WORKER_STORE: Optional[ArtifactStore] = None
+
+
+def _init_worker(artifact_root: Optional[str]) -> None:
+    global _ARTIFACT_ROOT
+    _ARTIFACT_ROOT = artifact_root
 
 
 def _spec_sg(spec: str) -> StateGraph:
@@ -43,59 +64,84 @@ def _spec_sg(spec: str) -> StateGraph:
     return sg
 
 
+def _worker_store() -> Optional[ArtifactStore]:
+    global _WORKER_STORE
+    if _ARTIFACT_ROOT is None:
+        return None
+    if _WORKER_STORE is None or str(_WORKER_STORE.root) != _ARTIFACT_ROOT:
+        _WORKER_STORE = ArtifactStore(_ARTIFACT_ROOT)
+    return _WORKER_STORE
+
+
 def _number(value) -> Optional[float]:
     return None if value is None else float(value)
 
 
-def evaluate_point(point: SweepPoint) -> Dict[str, object]:
-    """Run one design point through the flow; returns a deterministic row.
+def _evaluate(point: SweepPoint,
+              store: Optional[ArtifactStore]
+              ) -> Tuple[Dict[str, object], Dict[str, str]]:
+    """Run one design point through the pipeline.
 
-    Rows contain only reproducible quantities (no timings, no cache
-    provenance): everything here must be byte-identical between serial and
-    parallel runs and between cold and warm store reads.
+    Returns ``(row, stage_status)``.  Rows contain only reproducible
+    quantities (no timings, no cache provenance): everything here must be
+    byte-identical between serial and parallel runs and between cold and
+    warm store reads.  The stage status feeds the outcome's cache
+    accounting only.
     """
     initial_sg = _spec_sg(point.spec)
-    flow: FlowResult = run_flow_stg(
-        None, strategy=point.strategy, keep_conc=point.keep,
-        size_frontier=point.frontier,
-        weight=0.5 if point.weight is None else point.weight,
-        max_explored=point.max_explored,
-        name=point.label(), initial_sg=initial_sg,
-        verify=point.verify)
-    report = flow.report
-    stats = flow.reduction_stats or (
-        flow.exploration.stats if flow.exploration is not None else None)
-    verification = report.verification
-    return {
+    result = run_pipeline(point.flow_config(), initial_sg=initial_sg,
+                          name=point.label(), store=store)
+    reduce_payload = result.results["reduce"].payload
+    resolve_payload = result.results["resolve"].payload
+    synth_payload = result.results["synthesize"].payload
+    cycle = result.results["timing"].payload["cycle"]
+    verify_result = result.results.get("verify")
+    verification = None if verify_result is None else verify_result.payload
+    stats = reduce_payload["stats"]
+    circuit = synth_payload["circuit"]
+    area = (circuit["area"] if circuit is not None
+            else synth_payload["area_estimate"])
+    row = {
         "spec": point.spec,
         "variant": point.variant,
         "strategy": point.strategy,
         "weight": point.weight,
         "frontier": point.frontier,
         "keep": ";".join(",".join(pair) for pair in point.keep),
-        "states_max": len(flow.initial_sg),
-        "states": len(report.sg),
-        "csc_signals": report.csc_signal_count,
-        "csc_resolved": report.csc_resolved,
-        "area": _number(report.area),
-        "cycle_time": _number(report.cycle_time),
-        "input_events": report.input_event_count,
-        "explored": None if stats is None else stats.explored,
-        "expanded": None if stats is None else stats.expanded,
-        "levels": None if stats is None else stats.levels,
-        "capped": None if stats is None else stats.capped,
-        "verdict": None if verification is None else verification.verdict,
+        "states_max": result.results["generate"].payload["states"],
+        "states": reduce_payload["sg"]["states"],
+        "csc_signals": len(resolve_payload["insertions"]),
+        "csc_resolved": resolve_payload["resolved"],
+        "area": _number(area),
+        "cycle_time": (None if cycle is None
+                       else float(Fraction(cycle["period"]))),
+        "input_events": (None if cycle is None
+                         else len(cycle["input_events"])),
+        "explored": None if stats is None else stats["explored"],
+        "expanded": None if stats is None else stats["expanded"],
+        "levels": None if stats is None else stats["levels"],
+        "capped": None if stats is None else stats["capped"],
+        "verdict": None if verification is None else verification["verdict"],
         "verify_states": (None if verification is None
-                          else verification.product_states),
+                          else verification["product_states"]),
         "verify_arcs": (None if verification is None
-                        else verification.product_arcs),
+                        else verification["product_arcs"]),
+        "verify_max_states": point.verify_max_states,
     }
+    return row, result.stage_status()
+
+
+def evaluate_point(point: SweepPoint) -> Dict[str, object]:
+    """Run one design point through the flow; returns a deterministic row."""
+    row, _ = _evaluate(point, _worker_store())
+    return row
 
 
 def _run_chunk(chunk: List[Tuple[int, SweepPoint]]
-               ) -> List[Tuple[int, Dict[str, object]]]:
+               ) -> List[Tuple[int, Dict[str, object], Dict[str, str]]]:
     """Evaluate one chunk of (grid index, point) work items."""
-    return [(index, evaluate_point(point)) for index, point in chunk]
+    store = _worker_store()
+    return [(index, *_evaluate(point, store)) for index, point in chunk]
 
 
 def make_chunks(items: Sequence[Tuple[int, SweepPoint]],
@@ -134,7 +180,12 @@ def make_chunks(items: Sequence[Tuple[int, SweepPoint]],
 
 @dataclass
 class SweepOutcome:
-    """Everything one sweep run produced, rows in grid order."""
+    """Everything one sweep run produced, rows in grid order.
+
+    ``stage_computed``/``stage_reused`` count pipeline-stage evaluations
+    across all computed points; store-served rows never touch the stages,
+    and without a store nothing is ever reused.
+    """
 
     points: List[SweepPoint]
     rows: List[Dict[str, object]]
@@ -142,10 +193,29 @@ class SweepOutcome:
     cached: int
     jobs: int
     seconds: float
+    stage_computed: Dict[str, int] = field(default_factory=dict)
+    stage_reused: Dict[str, int] = field(default_factory=dict)
 
     @property
     def points_per_second(self) -> float:
         return len(self.points) / self.seconds if self.seconds > 0 else 0.0
+
+    def stage_summary(self) -> str:
+        """Deterministic one-line stage-cache accounting for CLI/CI use."""
+        def render(counts: Dict[str, int]) -> str:
+            parts = [f"{stage}={counts[stage]}" for stage in STAGE_ORDER
+                     if counts.get(stage)]
+            return ",".join(parts)
+
+        computed = sum(self.stage_computed.values())
+        reused = sum(self.stage_reused.values())
+        text = f"stages: {computed} computed"
+        if computed:
+            text += f" ({render(self.stage_computed)})"
+        text += f", {reused} reused"
+        if reused:
+            text += f" ({render(self.stage_reused)})"
+        return text
 
 
 def run_sweep(grid: SweepGrid,
@@ -154,11 +224,15 @@ def run_sweep(grid: SweepGrid,
               chunk_size: Optional[int] = None) -> SweepOutcome:
     """Evaluate every point of ``grid``; returns rows in grid order.
 
-    With a ``store``, completed points are read back instead of recomputed
-    and fresh results are persisted, so a warm re-run (or an overlapping
-    grid) does zero exploration.  ``jobs > 1`` shards the pending points
-    over a process pool; the merged rows are byte-identical to ``jobs=1``.
+    With a ``store``, completed points are read back instead of recomputed,
+    fresh results are persisted, and every pipeline stage evaluated along
+    the way lands in the same store -- so a warm re-run (or an overlapping
+    grid) does zero exploration, and a re-run with changed downstream knobs
+    (e.g. another delay model) recomputes only the invalidated stages.
+    ``jobs > 1`` shards the pending points over a process pool; the merged
+    rows are byte-identical to ``jobs=1``.
     """
+    global _ARTIFACT_ROOT
     if jobs < 1:
         raise ValueError("jobs must be at least 1")
     started = time.perf_counter()
@@ -167,13 +241,15 @@ def run_sweep(grid: SweepGrid,
     keys: List[Optional[str]] = [None] * len(points)
     pending: List[Tuple[int, SweepPoint]] = []
     cached = 0
+    stage_computed: Dict[str, int] = {}
+    stage_reused: Dict[str, int] = {}
 
     if store is not None:
         digests: Dict[str, str] = {}
         for index, point in enumerate(points):
             digest = digests.get(point.spec)
             if digest is None:
-                digest = graph_digest(_spec_sg(point.spec))
+                digest = cached_graph_digest(_spec_sg(point.spec))
                 digests[point.spec] = digest
             keys[index] = store.key(point.config(), digest)
             entry = store.get(keys[index])
@@ -190,11 +266,15 @@ def run_sweep(grid: SweepGrid,
     else:
         pending = list(enumerate(points))
 
-    def merge(chunk_result: List[Tuple[int, Dict[str, object]]]) -> None:
+    def merge(chunk_result) -> None:
         # Persist as results arrive, not after the whole sweep: an
         # interrupted run keeps every point completed so far.
-        for index, row in chunk_result:
+        for index, row, status in chunk_result:
             rows[index] = row
+            for stage, state in status.items():
+                counts = (stage_reused if state == "cached"
+                          else stage_computed)
+                counts[stage] = counts.get(stage, 0) + 1
             if store is not None:
                 store.put(keys[index], {
                     "config": points[index].config(),
@@ -202,17 +282,28 @@ def run_sweep(grid: SweepGrid,
                     "row": row,
                 })
 
-    if pending:
-        chunks = make_chunks(pending, jobs, chunk_size)
-        if jobs == 1 or len(chunks) == 1:
-            for chunk in chunks:
-                merge(_run_chunk(chunk))
-        else:
-            with multiprocessing.Pool(processes=min(jobs, len(chunks))) as pool:
-                for chunk_result in pool.imap_unordered(_run_chunk, chunks):
-                    merge(chunk_result)
+    previous_root = _ARTIFACT_ROOT
+    _ARTIFACT_ROOT = None if store is None else str(store.root)
+    try:
+        if pending:
+            chunks = make_chunks(pending, jobs, chunk_size)
+            if jobs == 1 or len(chunks) == 1:
+                for chunk in chunks:
+                    merge(_run_chunk(chunk))
+            else:
+                with multiprocessing.Pool(
+                        processes=min(jobs, len(chunks)),
+                        initializer=_init_worker,
+                        initargs=(_ARTIFACT_ROOT,)) as pool:
+                    for chunk_result in pool.imap_unordered(_run_chunk,
+                                                            chunks):
+                        merge(chunk_result)
+    finally:
+        _ARTIFACT_ROOT = previous_root
 
     assert all(row is not None for row in rows)
     return SweepOutcome(points=points, rows=rows, computed=len(pending),
                         cached=cached, jobs=jobs,
-                        seconds=time.perf_counter() - started)
+                        seconds=time.perf_counter() - started,
+                        stage_computed=stage_computed,
+                        stage_reused=stage_reused)

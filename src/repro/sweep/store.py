@@ -1,127 +1,57 @@
-"""Process-safe on-disk result store for sweep points.
+"""Sweep-row view of the unified content-addressed artifact store.
 
-Each completed design point is a single JSON file named by the SHA-256 of
-its canonical key -- ``(spec, configuration, graph digest)`` -- so re-runs
-and overlapping grids skip work that is already done, and a changed spec
-(different state graph) can never serve a stale row.  Writes go through a
-unique temporary file followed by :func:`os.replace`, which is atomic on
-POSIX and Windows; concurrent sweeps over the same store directory at worst
-recompute a point and overwrite it with the identical row.
+Historically this module owned its own store and the canonical-digest
+logic; both now live in :mod:`repro.pipeline` (:class:`ArtifactStore`,
+:mod:`repro.pipeline.hashing`) and are shared with the per-stage pipeline
+artifacts and the verification certificates.  :class:`ResultStore` remains
+as the sweep-facing view: the same directory, with completed design-point
+rows stored as ``sweep-point`` entries next to the stage artifacts they
+were computed from.
 
-Canonicalization matters: state-graph signatures contain frozensets whose
-iteration order depends on ``PYTHONHASHSEED``, so :func:`graph_digest`
-renders every container in sorted canonical form before hashing.  The same
-digest therefore names the same graph across processes, runs and seeds.
+Keys bind to ``(spec, configuration, graph digest)``, so re-runs and
+overlapping grids skip work that is already done, and a changed spec
+(different state graph) can never serve a stale row.  ``canonical`` and
+``graph_digest`` are re-exported for compatibility.
 """
 
 from __future__ import annotations
 
-import hashlib
-import json
-import os
-import tempfile
-from enum import Enum
-from fractions import Fraction
-from pathlib import Path
-from typing import Dict, Iterator, List, Optional
+from typing import Dict, Optional
 
-from ..sg.graph import StateGraph
+from ..pipeline.hashing import canonical, digest_payload, graph_digest
+from ..pipeline.store import STORE_SCHEMA, ArtifactStore
 
 #: Bump when the row layout or key derivation changes; old entries are
-#: simply never looked up again.  Version 2: the point configuration grew a
-#: ``verify`` axis and rows grew verification columns.
-STORE_VERSION = 2
+#: simply never looked up again.  Version 3: rows ride the staged pipeline
+#: (FlowConfig-backed points with delay-model and verify_max_states axes)
+#: and live in the unified artifact store.
+STORE_VERSION = 3
+
+#: Backwards-compatible alias for the digest helper this module used to own.
+_digest = digest_payload
+
+__all__ = ["STORE_SCHEMA", "STORE_VERSION", "ArtifactStore", "ResultStore",
+           "canonical", "graph_digest"]
 
 
-def canonical(obj) -> object:
-    """A JSON-serializable rendering that is stable across hash seeds.
-
-    Sets and frozensets become sorted lists (sorted by their members'
-    canonical JSON text, so mixed element types cannot raise), tuples become
-    lists, enums their names, fractions exact strings; anything else
-    non-primitive falls back to ``repr``.
-    """
-    if obj is None or isinstance(obj, (bool, int, float, str)):
-        return obj
-    if isinstance(obj, Fraction):
-        return f"{obj.numerator}/{obj.denominator}"
-    if isinstance(obj, Enum):
-        return f"{type(obj).__name__}.{obj.name}"
-    if isinstance(obj, dict):
-        rendered = {json.dumps(canonical(key), sort_keys=True): canonical(value)
-                    for key, value in obj.items()}
-        return {key: rendered[key] for key in sorted(rendered)}
-    if isinstance(obj, (set, frozenset)):
-        members = [canonical(member) for member in obj]
-        return sorted(members, key=lambda m: json.dumps(m, sort_keys=True))
-    if isinstance(obj, (list, tuple)):
-        return [canonical(member) for member in obj]
-    return repr(obj)
-
-
-def _digest(obj) -> str:
-    text = json.dumps(canonical(obj), sort_keys=True, separators=(",", ":"))
-    return hashlib.sha256(text.encode("utf-8")).hexdigest()
-
-
-def graph_digest(sg: StateGraph) -> str:
-    """Content digest of an SG: arcs, initial state, signals, codes."""
-    arcs, initial, signals, codes = sg.signature()
-    return _digest({
-        "arcs": arcs,
-        "initial": initial,
-        "signals": signals,
-        "codes": codes,
-    })
-
-
-class ResultStore:
-    """A directory of ``<key>.json`` rows, one per completed sweep point."""
-
-    def __init__(self, root) -> None:
-        self.root = Path(root)
-        self.root.mkdir(parents=True, exist_ok=True)
+class ResultStore(ArtifactStore):
+    """An :class:`ArtifactStore` addressed by sweep-point configuration."""
 
     def key(self, config: Dict[str, object], graph: str) -> str:
         """Store key for a point configuration evaluated on graph ``graph``."""
-        return _digest({"version": STORE_VERSION, "config": config,
-                        "graph": graph})
-
-    def _path(self, key: str) -> Path:
-        return self.root / f"{key}.json"
+        return digest_payload({"version": STORE_VERSION, "config": config,
+                               "graph": graph})
 
     def get(self, key: str) -> Optional[Dict[str, object]]:
-        """The stored entry, or ``None`` when absent or unreadable."""
-        try:
-            with open(self._path(key), "r", encoding="utf-8") as handle:
-                entry = json.load(handle)
-        except (OSError, json.JSONDecodeError):
+        """The stored row entry, or ``None`` when absent or unreadable."""
+        entry = self.get_entry(key, stage="sweep-point")
+        if entry is None:
             return None
-        if not isinstance(entry, dict) or "row" not in entry:
+        payload = entry["payload"]
+        if not isinstance(payload, dict) or "row" not in payload:
             return None
-        return entry
+        return payload
 
     def put(self, key: str, entry: Dict[str, object]) -> None:
-        """Atomically persist an entry (last writer wins, never torn)."""
-        payload = json.dumps(entry, indent=2, sort_keys=True) + "\n"
-        descriptor, temp_name = tempfile.mkstemp(
-            prefix=f".{key[:16]}-", suffix=".tmp", dir=self.root)
-        try:
-            with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
-                handle.write(payload)
-            os.replace(temp_name, self._path(key))
-        except BaseException:
-            try:
-                os.unlink(temp_name)
-            except OSError:
-                pass
-            raise
-
-    def keys(self) -> List[str]:
-        return sorted(path.stem for path in self.root.glob("*.json"))
-
-    def __len__(self) -> int:
-        return len(self.keys())
-
-    def __iter__(self) -> Iterator[str]:
-        return iter(self.keys())
+        """Atomically persist a row entry (last writer wins, never torn)."""
+        self.put_entry(key, "sweep-point", entry)

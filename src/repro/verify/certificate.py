@@ -8,12 +8,15 @@ time is carried on the object (``seconds``) but deliberately excluded from
 the canonical payload, exactly like the sweep keeps timings on the outcome
 and never in the rows.
 
-Certificates are cached in the same on-disk store the sweep uses
-(:class:`repro.sweep.store.ResultStore`): the key is the SHA-256 of the
-netlist structure, the specification graph digest and the check
-configuration, so a warm store serves the verdict without re-exploring the
-product state space -- and a changed netlist or spec can never reuse a
-stale certificate.
+Certificates are cached in the unified content-addressed artifact store
+(:class:`repro.pipeline.ArtifactStore`, also used by the pipeline stages
+and the sweep rows): the key is the SHA-256 of the netlist structure, the
+specification graph digest and the check configuration, so a warm store
+serves the verdict without re-exploring the product state space -- and a
+changed netlist or spec can never reuse a stale certificate.  Because the
+key is content-based (not derived from how the netlist was produced),
+identical netlists reached through different reduction strategies share
+one certificate.
 """
 
 from __future__ import annotations
@@ -22,11 +25,13 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from ..circuit.netlist import Netlist
+from ..pipeline.hashing import digest_payload, graph_digest, netlist_payload
 from ..sg.graph import StateGraph
 
 #: Bump when the report layout or key derivation changes; old store entries
-#: are simply never looked up again.
-CERTIFICATE_VERSION = 1
+#: are simply never looked up again.  Version 2: certificates moved into
+#: the unified pipeline :class:`~repro.pipeline.ArtifactStore`.
+CERTIFICATE_VERSION = 2
 
 #: Possible verdicts, from best to worst.  ``skipped`` marks design points
 #: with nothing to verify (no synthesized circuit); ``state-limit`` marks an
@@ -130,24 +135,10 @@ def skipped_report(name: str, reason: str,
                               reason=reason)
 
 
-def netlist_payload(netlist: Netlist) -> Dict[str, object]:
-    """Canonical structure of a netlist (list orders are deterministic)."""
-    return {
-        "name": netlist.name,
-        "inputs": list(netlist.primary_inputs),
-        "outputs": list(netlist.primary_outputs),
-        "gates": [[gate.name, gate.cell.name, list(gate.inputs), gate.output]
-                  for gate in netlist.gates],
-        "aliases": [[alias.source, alias.target]
-                    for alias in netlist.aliases],
-    }
-
-
 def verification_key(netlist: Netlist, spec: StateGraph, model: str,
                      max_states: int) -> str:
     """Store key binding a certificate to (netlist, spec, configuration)."""
-    from ..sweep.store import _digest, graph_digest
-    return _digest({
+    return digest_payload({
         "kind": "verification",
         "version": CERTIFICATE_VERSION,
         "netlist": netlist_payload(netlist),
@@ -164,7 +155,8 @@ def verify_netlist(netlist: Netlist, spec: StateGraph,
                    store=None) -> Tuple[VerificationReport, bool]:
     """Check conformance, serving and feeding the certificate store.
 
-    Returns ``(report, cached)``; with a store, a prior certificate for the
+    Returns ``(report, cached)``; with a ``store`` (an
+    :class:`~repro.pipeline.ArtifactStore`), a prior certificate for the
     same (netlist, spec, model) is returned without re-exploration.
     """
     from .conformance import DEFAULT_MAX_STATES, check_conformance
@@ -173,10 +165,10 @@ def verify_netlist(netlist: Netlist, spec: StateGraph,
     key = None
     if store is not None:
         key = verification_key(netlist, spec, model, max_states)
-        entry = store.get(key)
+        entry = store.get_entry(key, stage="verify")
         if entry is not None:
             try:
-                report = VerificationReport.from_dict(entry["row"])
+                report = VerificationReport.from_dict(entry["payload"])
             except (KeyError, TypeError, ValueError):
                 pass  # unreadable certificate: recompute and overwrite
             else:
@@ -189,5 +181,5 @@ def verify_netlist(netlist: Netlist, spec: StateGraph,
     report = check_conformance(netlist, spec, model=model,
                                max_states=max_states, name=name)
     if store is not None and key is not None:
-        store.put(key, {"kind": "verification", "row": report.to_dict()})
+        store.put_entry(key, "verify", report.to_dict())
     return report, False

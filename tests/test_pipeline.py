@@ -1,0 +1,336 @@
+"""Unit tests for the staged pipeline core (repro.pipeline)."""
+
+import json
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+from repro.pipeline import (ArtifactStore, FlowConfig, digest_payload,
+                            run_pipeline)
+from repro.pipeline.artifacts import sg_from_payload, sg_to_payload
+from repro.pipeline.config import STRATEGY_DEFAULTS
+from repro.sg.generator import generate_sg
+from repro.specs.suite import load, suite_names
+from repro.sweep import make_point, tables_grid
+from repro.timing.delays import DelayModel
+
+
+def _report_payloads(result):
+    """Canonical JSON of every stage payload of a pipeline result."""
+    return json.dumps({stage: res.payload
+                       for stage, res in result.results.items()},
+                      sort_keys=True)
+
+
+class TestFlowConfig:
+    def test_json_round_trip_over_whole_grid(self):
+        # Every Tables 1-2 point (verification on, for full field coverage)
+        # must survive FlowConfig JSON serialization bit-exactly.
+        grid = tables_grid(specs=["lr", "mmu", "half"], verify=True,
+                           verify_max_states=4096, delays=(3, 1, "3/2"))
+        assert len(grid) > 10
+        for point in grid:
+            config = point.flow_config()
+            round_tripped = FlowConfig.from_json(config.to_json())
+            assert round_tripped == config
+            assert round_tripped.digest() == config.digest()
+
+    def test_strategy_defaults_centralized(self):
+        assert STRATEGY_DEFAULTS["beam"] == (4, 10_000)
+        assert STRATEGY_DEFAULTS["full"] == (6, 20_000)
+        full = FlowConfig.create(strategy="full")
+        assert full.effective_frontier() == 6
+        assert full.effective_max_explored() == 20_000
+        beam = FlowConfig.create(strategy="beam", size_frontier=9)
+        assert beam.effective_frontier() == 9
+        assert beam.effective_max_explored() == 10_000
+        none = FlowConfig.create(strategy="none")
+        assert none.effective_frontier() is None
+        assert none.effective_max_explored() is None
+
+    def test_grid_frontier_defaults_match_flow(self):
+        # The sweep grid and the flow resolve the same frontier numbers.
+        assert make_point("lr", "beam").frontier == 4
+        assert make_point("lr", "full").frontier == 6
+
+    def test_invalid_values_rejected(self):
+        with pytest.raises(ValueError):
+            FlowConfig.create(strategy="dfs")
+        with pytest.raises(ValueError):
+            FlowConfig.create(verify_model="magic")
+        with pytest.raises(KeyError):
+            FlowConfig.create(library="no-such-library")
+
+    def test_keep_conc_canonicalized(self):
+        one = FlowConfig.create(strategy="full", keep_conc=[("ri-", "li-")])
+        two = FlowConfig.create(strategy="full", keep_conc=[("li-", "ri-")])
+        assert one == two
+        assert one.digest() == two.digest()
+
+    def test_delay_slice_isolated(self):
+        base = FlowConfig.create(strategy="full")
+        slow = base.replace(delays=DelayModel.by_kind(4, 1, 1))
+        assert base.digest() != slow.digest()
+        for stage in ("reduce", "resolve", "synthesize", "verify"):
+            assert base.slice_for(stage) == slow.slice_for(stage)
+        assert base.slice_for("timing") != slow.slice_for("timing")
+
+
+class TestSgArtifact:
+    @pytest.mark.parametrize("name", suite_names())
+    def test_payload_round_trip_is_idempotent(self, name):
+        sg = generate_sg(load(name))
+        payload = sg_to_payload(sg)
+        decoded = sg_from_payload(payload)
+        assert len(decoded) == len(sg)
+        assert decoded.arc_count() == sg.arc_count()
+        assert decoded.signals == sg.signals
+        # Canonical renaming is a fixpoint: encoding the decoded graph
+        # reproduces the payload byte-for-byte.
+        assert sg_to_payload(decoded) == payload
+
+
+class TestResume:
+    @pytest.fixture
+    def store(self, tmp_path):
+        return ArtifactStore(tmp_path / "store")
+
+    def test_warm_rerun_serves_every_stage(self, store):
+        config = FlowConfig.create(strategy="full", verify=True,
+                                   resynthesise=True)
+        cold = run_pipeline(config, stg=load("half"), store=store)
+        assert set(cold.stage_status().values()) == {"computed"}
+        warm = run_pipeline(config, stg=load("half"), store=store)
+        assert set(warm.stage_status().values()) == {"cached"}
+        assert _report_payloads(cold) == _report_payloads(warm)
+
+    def test_delays_only_change_recomputes_only_timing(self, store):
+        config = FlowConfig.create(strategy="best-first")
+        run_pipeline(config, stg=load("vme_read"), store=store)
+        slowed = config.replace(delays=DelayModel.by_kind(5, 2, 1))
+        warm = run_pipeline(slowed, stg=load("vme_read"), store=store)
+        status = warm.stage_status()
+        assert status["timing"] == "computed"
+        recomputed = {stage for stage, state in status.items()
+                      if state == "computed"}
+        assert recomputed == {"timing"}
+
+    def test_search_knob_change_keeps_generation(self, store):
+        config = FlowConfig.create(strategy="best-first", weight=0.5)
+        run_pipeline(config, stg=load("half"), store=store)
+        reweighted = config.replace(weight=0.0)
+        warm = run_pipeline(reweighted, stg=load("half"), store=store)
+        status = warm.stage_status()
+        assert status["generate"] == "cached"
+        assert status["reduce"] == "computed"
+
+    def test_corrupt_entry_recomputed_gracefully(self, store):
+        config = FlowConfig.create(strategy="full")
+        cold = run_pipeline(config, stg=load("half"), store=store)
+        for path in store.root.glob("*.json"):
+            path.write_text("{definitely not json")
+        again = run_pipeline(config, stg=load("half"), store=store)
+        assert set(again.stage_status().values()) == {"computed"}
+        assert _report_payloads(cold) == _report_payloads(again)
+
+    def test_old_schema_entry_ignored(self, store):
+        config = FlowConfig.create(strategy="full")
+        cold = run_pipeline(config, stg=load("half"), store=store)
+        for path in store.root.glob("*.json"):
+            entry = json.loads(path.read_text())
+            entry["schema"] = 999  # a future (or ancient) layout
+            path.write_text(json.dumps(entry))
+        again = run_pipeline(config, stg=load("half"), store=store)
+        assert set(again.stage_status().values()) == {"computed"}
+        assert _report_payloads(cold) == _report_payloads(again)
+
+    def test_stg_text_entry_shares_downstream_artifacts(self, store):
+        # Driving the pipeline from raw .g text keys SG generation on the
+        # text digest, but the downstream stages are content-addressed and
+        # shared with the parsed-STG entry point.
+        from repro.specs.suite import source_text
+        config = FlowConfig.create(strategy="full")
+        cold = run_pipeline(config, stg=load("half"), store=store)
+        warm = run_pipeline(config, stg_text=source_text("half"),
+                            store=store)
+        status = warm.stage_status()
+        assert status["generate"] == "computed"  # raw text, another key
+        assert status["reduce"] == "cached"
+        assert status["synthesize"] == "cached"
+        assert _report_payloads(cold) == _report_payloads(warm)
+
+    def test_shared_stages_across_design_points(self, store):
+        # Content-addressed keys: two strategies that reach the same
+        # reduced graph share every downstream artifact.
+        full = FlowConfig.create(strategy="full")
+        run_pipeline(full, stg=load("fifo_cell"), store=store)
+        none = FlowConfig.create(strategy="none")
+        warm = run_pipeline(none, stg=load("fifo_cell"), store=store)
+        status = warm.stage_status()
+        # fifo_cell admits no valid reduction, so "full" keeps the initial
+        # graph and "none" hits its resolve/synthesize/timing artifacts.
+        assert status["resolve"] == "cached"
+        assert status["synthesize"] == "cached"
+        assert status["timing"] == "cached"
+
+    def test_warm_store_byte_identical_across_hash_seeds(self, tmp_path):
+        root = pathlib.Path(__file__).resolve().parents[1]
+        store_dir = tmp_path / "seed-store"
+        program = (
+            "import json, sys\n"
+            "from repro.pipeline import ArtifactStore, FlowConfig, "
+            "run_pipeline\n"
+            "from repro.specs.suite import load\n"
+            "config = FlowConfig.create(strategy='full', verify=True)\n"
+            "result = run_pipeline(config, stg=load('half'), "
+            "store=ArtifactStore(sys.argv[1]))\n"
+            "payloads = {s: r.payload for s, r in result.results.items()}\n"
+            "cached = all(r.cached for r in result.results.values())\n"
+            "print(json.dumps({'cached': cached, 'payloads': payloads}, "
+            "sort_keys=True))\n")
+        outputs = []
+        for index, seed in enumerate(("0", "1", "12345")):
+            completed = subprocess.run(
+                [sys.executable, "-c", program, str(store_dir)], cwd=root,
+                env={"PYTHONHASHSEED": seed, "PATH": "/usr/bin:/bin",
+                     "PYTHONPATH": str(root / "src")},
+                capture_output=True, text=True, check=True)
+            payload = json.loads(completed.stdout)
+            # The first seed populates the store; later seeds must be
+            # served entirely from it.
+            assert payload["cached"] == (index > 0)
+            outputs.append(json.dumps(payload["payloads"], sort_keys=True))
+        assert len(set(outputs)) == 1
+
+
+class TestResultIsolation:
+    def test_caller_mutation_cannot_poison_later_runs(self):
+        # Graphs handed out by flow results belong to the caller; mutating
+        # them must not leak into the pipeline's decode memo.
+        from repro.flow import implement
+        sg = generate_sg(load("half"))
+        first = implement(sg)
+        victim = first.resolved_sg
+        victim.remove_state(next(s for s in victim.states
+                                 if s != victim.initial))
+        second = implement(generate_sg(load("half")))
+        assert len(second.resolved_sg) == second.resolved_sg.arc_count() == 8
+        assert len(second.resolved_sg) != len(victim)
+
+
+class TestVerifyMaxStates:
+    def test_flow_plumbs_the_cap(self):
+        from repro.flow import implement, run_flow_stg
+        flow = run_flow_stg(load("half"), strategy="full", verify=True,
+                            verify_max_states=3)
+        assert flow.report.verification.verdict == "state-limit"
+        report = implement(generate_sg(load("half")), verify=True,
+                           verify_max_states=3)
+        assert report.verification.verdict == "state-limit"
+
+    def test_sweep_axis_and_normalization(self):
+        point = make_point("half", "full", verify=True, verify_max_states=7)
+        assert point.config()["verify_max_states"] == 7
+        assert point.flow_config().verify_max_states == 7
+        # Without verification the cap is meaningless and normalizes away.
+        plain = make_point("half", "full", verify=False, verify_max_states=7)
+        assert plain.verify_max_states is None
+        assert plain.key() == make_point("half", "full").key()
+
+    def test_cli_round_trip(self, capsys):
+        from repro.cli import main
+        assert main(["sweep", "--specs", "half", "--strategies", "full",
+                     "--verify", "--verify-max-states", "3",
+                     "--format", "csv"]) == 0
+        out = capsys.readouterr().out
+        header, row = [line for line in out.splitlines() if line][:2]
+        assert "verify_max_states" in header
+        assert "state-limit" in row and ",3" in row
+        # The verify command exposes the same cap and fails on the limit.
+        assert main(["verify", "half", "--strategies", "full",
+                     "--max-states", "3"]) == 1
+        assert "state-limit" in capsys.readouterr().out
+
+
+class TestCacheCli:
+    @pytest.fixture
+    def populated(self, tmp_path, capsys):
+        from repro.cli import main
+        store = tmp_path / "store"
+        assert main(["sweep", "--specs", "fifo_cell", "--strategies",
+                     "none,full", "--store", str(store)]) == 0
+        capsys.readouterr()
+        return store
+
+    def test_stats(self, populated, capsys):
+        from repro.cli import main
+        assert main(["cache", "stats", str(populated)]) == 0
+        out = capsys.readouterr().out
+        assert "entries" in out
+        assert "sweep-point" in out
+        assert "timing" in out
+        assert "engine memo tables" in out
+
+    def test_gc_respects_budget(self, populated, capsys):
+        from repro.cli import main
+        assert main(["cache", "gc", str(populated), "--max-bytes", "0"]) == 0
+        assert "deleted" in capsys.readouterr().out
+        assert list(populated.glob("*.json")) == []
+
+    def test_gc_requires_budget(self, populated):
+        from repro.cli import main
+        with pytest.raises(SystemExit):
+            main(["cache", "gc", str(populated)])
+
+    def test_missing_store_rejected_not_created(self, tmp_path):
+        from repro.cli import main
+        typo = tmp_path / "no-such-store"
+        with pytest.raises(SystemExit):
+            main(["cache", "stats", str(typo)])
+        assert not typo.exists()
+
+    def test_clear(self, populated, capsys):
+        from repro.cli import main
+        assert main(["cache", "clear", str(populated)]) == 0
+        assert "deleted" in capsys.readouterr().out
+        assert list(populated.glob("*.json")) == []
+
+
+class TestSweepStageAccounting:
+    def test_delays_only_sweep_reuses_upstream_stages(self, tmp_path):
+        from repro.sweep import ResultStore, render, run_sweep
+        store = ResultStore(tmp_path / "store")
+        cold = run_sweep(tables_grid(specs=["fifo_cell"],
+                                     strategies=("none", "full")),
+                         store=store)
+        assert cold.computed == 2
+        slow = tables_grid(specs=["fifo_cell"], strategies=("none", "full"),
+                           delays=(2, 1, 3))
+        warm = run_sweep(slow, store=store)
+        # New delay model -> new rows, but only timing stages recompute.
+        assert warm.computed == 2
+        assert set(warm.stage_computed) == {"timing"}
+        for stage in ("generate", "reduce", "resolve", "synthesize"):
+            assert warm.stage_reused.get(stage, 0) >= 1
+        # And the changed delay shows up in the results.
+        cold_cycle = [row["cycle_time"] for row in cold.rows]
+        warm_cycle = [row["cycle_time"] for row in warm.rows]
+        assert cold_cycle != warm_cycle
+        assert "stages:" in warm.stage_summary()
+
+    def test_synth_store_round_trip(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.petri.parser import save_stg
+        from repro.specs.lr import lr_expanded
+        spec = tmp_path / "lr.g"
+        save_stg(lr_expanded(), str(spec))
+        argv = ["synth", str(spec), "--full",
+                "--store", str(tmp_path / "store")]
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        assert main(argv) == 0
+        warm = capsys.readouterr().out
+        assert cold == warm
+        assert "lo = ri" in warm

@@ -119,7 +119,9 @@ class TestStore:
     def test_corrupt_entry_recomputed(self, small_grid, tmp_path):
         store = ResultStore(tmp_path / "store")
         run_sweep(small_grid, store=store)
-        victim = store.keys()[0]
+        # The store holds stage artifacts next to the rows; corrupt a row.
+        victim = next(key for key in store.keys()
+                      if store.get(key) is not None)
         (store.root / f"{victim}.json").write_text("{not json")
         again = run_sweep(small_grid, store=store)
         assert again.computed == 1
