@@ -35,6 +35,7 @@ class Library:
         self._cells = dict(cells)
 
     def cell(self, name: str) -> Cell:
+        """The cell named ``name``; raises ``KeyError`` if absent."""
         try:
             return self._cells[name]
         except KeyError:
@@ -45,6 +46,7 @@ class Library:
 
     @property
     def cells(self) -> Dict[str, Cell]:
+        """Every cell, keyed by name."""
         return dict(self._cells)
 
 

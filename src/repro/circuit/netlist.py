@@ -63,10 +63,12 @@ class Netlist:
     # construction
     # ------------------------------------------------------------------
     def add_input(self, net: str) -> None:
+        """Declare a primary input net (idempotent)."""
         if net not in self.primary_inputs:
             self.primary_inputs.append(net)
 
     def add_output(self, net: str) -> None:
+        """Declare a primary output net (idempotent)."""
         if net not in self.primary_outputs:
             self.primary_outputs.append(net)
 
@@ -121,9 +123,11 @@ class Netlist:
 
     @property
     def gate_count(self) -> int:
+        """Number of gate instances."""
         return len(self.gates)
 
     def driver_of(self, net: str) -> Optional[str]:
+        """The gate driving ``net``, or ``None`` for inputs/floating nets."""
         return self._drivers.get(net)
 
     def nets(self) -> List[str]:
@@ -143,6 +147,7 @@ class Netlist:
         return sorted(nets)
 
     def sequential_gates(self) -> List[Gate]:
+        """Gates whose cell is sequential (state-holding)."""
         return [gate for gate in self.gates if gate.cell.sequential]
 
     def depth_of(self, net: str) -> float:

@@ -11,6 +11,7 @@ Usage (also via ``python -m repro``)::
                                    [--model atomic|structural]
     python -m repro sweep  [--specs lr,mmu] [--jobs 4] [--store DIR]
                            [--format md|csv|json] [-o report.md] [--verify]
+    python -m repro serve  [--port 8080] [--workers 2] [--store DIR]
     python -m repro cache  stats|gc|clear DIR [--max-bytes N]
 
 ``check``/``sg``/``synth``/``reduce`` read astg-style ``.g`` files (see
@@ -18,10 +19,16 @@ Usage (also via ``python -m repro``)::
 names (``repro verify half vme_read``) and checks the synthesized circuit
 of every requested reduction strategy against its specification; ``sweep``
 runs the built-in benchmark registry through the whole Tables 1-2
-design-space grid in parallel.  ``synth``, ``verify`` and ``sweep`` all
+design-space grid in parallel; ``serve`` exposes the same flow as a
+long-running HTTP service with request deduplication and micro-batching
+(:mod:`repro.serve`).  ``synth``, ``verify``, ``sweep`` and ``serve`` all
 share one ``--store`` directory (the content-addressed artifact store):
 warm runs skip every pipeline stage whose inputs didn't change, and
 ``cache`` inspects, garbage-collects or clears that store.
+
+``python -m repro.cli --dump-docs`` renders the whole command tree as
+markdown; ``docs/cli.md`` is that output, committed (a test keeps it in
+sync).
 """
 
 from __future__ import annotations
@@ -257,6 +264,40 @@ def cmd_verify(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .serve.app import ServeApp
+    from .serve.http import start_server
+
+    if args.workers < 0:
+        raise SystemExit("--workers must be >= 0 (0 = in-process)")
+
+    app = ServeApp(store_root=args.store, workers=args.workers,
+                   batch_size=args.batch_size,
+                   default_timeout=args.timeout,
+                   max_verify_states=args.max_verify_states)
+
+    async def serve() -> None:
+        await app.startup()
+        server = await start_server(app, args.host, args.port)
+        host, port = server.sockets[0].getsockname()[:2]
+        print(f"serving on http://{host}:{port} "
+              f"(workers={args.workers}, batch={args.batch_size}, "
+              f"store={args.store or 'none'})", file=sys.stderr, flush=True)
+        try:
+            async with server:
+                await server.serve_forever()
+        finally:
+            await app.shutdown()
+
+    try:
+        asyncio.run(serve())
+    except KeyboardInterrupt:
+        print("shutting down", file=sys.stderr)
+    return 0
+
+
 def cmd_cache(args: argparse.Namespace) -> int:
     from . import engine
 
@@ -318,16 +359,16 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     check = sub.add_parser("check", help="implementability report")
-    check.add_argument("spec")
+    check.add_argument("spec", help=".g specification file")
     check.set_defaults(func=cmd_check)
 
     sg = sub.add_parser("sg", help="print the state graph")
-    sg.add_argument("spec")
+    sg.add_argument("spec", help=".g specification file")
     sg.add_argument("--dot", action="store_true", help="GraphViz output")
     sg.set_defaults(func=cmd_sg)
 
     def add_reduction_options(command: argparse.ArgumentParser) -> None:
-        command.add_argument("spec")
+        command.add_argument("spec", help=".g specification file")
         command.add_argument("--full", action="store_true",
                              help="reduce until no valid reduction remains")
         command.add_argument("--no-reduce", action="store_true",
@@ -429,6 +470,32 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("-o", "--output", help="write the report to a file")
     sweep.set_defaults(func=cmd_sweep)
 
+    serve = sub.add_parser(
+        "serve",
+        help="run the synthesis service: an async HTTP front end with "
+             "request deduplication and micro-batching")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default: 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8080,
+                       help="TCP port; 0 picks an ephemeral port "
+                            "(default: 8080)")
+    serve.add_argument("--workers", type=int, default=1,
+                       help="worker processes for the heavy stages; "
+                            "0 runs in-process (default: 1)")
+    serve.add_argument("--batch-size", type=int, default=8,
+                       help="max queued same-spec jobs grouped into one "
+                            "worker chunk (default: 8)")
+    serve.add_argument("--store", metavar="DIR",
+                       help="shared artifact store; without it nothing is "
+                            "cached across requests or restarts")
+    serve.add_argument("--timeout", type=float, default=None,
+                       help="default per-job wall-clock budget in seconds "
+                            "(requests may set a smaller one)")
+    serve.add_argument("--max-verify-states", type=int, default=None,
+                       help="server-wide cap on per-request verification "
+                            "state budgets")
+    serve.set_defaults(func=cmd_serve)
+
     cache = sub.add_parser(
         "cache",
         help="inspect or maintain an artifact store (and engine memos)")
@@ -443,7 +510,88 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _action_rows(parser: argparse.ArgumentParser) -> List[tuple]:
+    """(spelling, default, help) rows for every argument of one parser."""
+    rows = []
+    for action in parser._actions:
+        if isinstance(action, (argparse._HelpAction,
+                               argparse._SubParsersAction)):
+            continue
+        if action.option_strings:
+            spelling = ", ".join(action.option_strings)
+            if action.metavar:
+                spelling += f" {action.metavar}"
+            elif action.nargs is None and not isinstance(
+                    action, (argparse._StoreTrueAction,
+                             argparse._StoreFalseAction)):
+                spelling += f" {action.dest.upper()}"
+        else:
+            spelling = action.metavar or action.dest
+        # Identity checks: `0 in (None, False, ...)` would be True and
+        # hide real zero defaults from the committed reference.
+        if (action.default is None or action.default is False
+                or action.default is argparse.SUPPRESS):
+            default = ""
+        else:
+            default = f"{action.default}"
+        rows.append((spelling, default, action.help or ""))
+    return rows
+
+
+def dump_docs() -> str:
+    """Render the whole CLI tree as markdown (the source of docs/cli.md).
+
+    Generated from the live argparse parsers, so the committed file can
+    never drift from the code: ``tests/test_docs.py`` re-generates it and
+    compares bytes.  Regenerate with::
+
+        PYTHONPATH=src python -m repro.cli --dump-docs > docs/cli.md
+    """
+    parser = build_parser()
+    lines = [
+        "# `repro` command-line reference",
+        "",
+        "<!-- Generated by `python -m repro.cli --dump-docs`; do not edit "
+        "by hand. -->",
+        "",
+        parser.description or "",
+        "",
+        "Run any command via the installed `repro` script or "
+        "`PYTHONPATH=src python -m repro`.",
+        "",
+    ]
+    subactions = next(action for action in parser._actions
+                      if isinstance(action, argparse._SubParsersAction))
+    helps = {choice.dest: choice.help
+             for choice in subactions._choices_actions}
+    for name, sub in subactions.choices.items():
+        lines.append(f"## `repro {name}`")
+        lines.append("")
+        if helps.get(name):
+            help_text = helps[name]
+            # Not str.capitalize(): that would lowercase acronyms (HTTP,
+            # CSC, ...) in the committed, byte-compared reference.
+            lines.append(f"{help_text[:1].upper()}{help_text[1:]}.")
+            lines.append("")
+        usage = " ".join(sub.format_usage().split())
+        lines.append(f"    {usage.replace('usage: ', '')}")
+        lines.append("")
+        rows = _action_rows(sub)
+        if rows:
+            lines.append("| argument | default | description |")
+            lines.append("| --- | --- | --- |")
+            for spelling, default, help_text in rows:
+                lines.append(f"| `{spelling}` | {default} | {help_text} |")
+            lines.append("")
+    return "\n".join(lines).rstrip() + "\n"
+
+
 def main(argv: Optional[List[str]] = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "--dump-docs":
+        print(dump_docs(), end="")
+        return 0
     args = build_parser().parse_args(argv)
     return args.func(args)
 

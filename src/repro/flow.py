@@ -71,6 +71,7 @@ class ImplementationReport:
 
     @property
     def csc_signal_count(self) -> int:
+        """Number of inserted state signals."""
         return len(self.insertions)
 
     @property
@@ -83,10 +84,12 @@ class ImplementationReport:
 
     @property
     def cycle_time(self) -> Optional[float]:
+        """Critical cycle period, if timing analysis succeeded."""
         return self.cycle.cycle_time if self.cycle is not None else None
 
     @property
     def input_event_count(self) -> Optional[int]:
+        """Input events on the critical cycle, if analyzed."""
         return self.cycle.input_event_count if self.cycle is not None else None
 
     @property
@@ -119,6 +122,7 @@ class FlowResult:
 
     @property
     def reduced_sg(self) -> StateGraph:
+        """The chosen reduced state graph (same as ``report.sg``)."""
         return self.report.sg
 
 

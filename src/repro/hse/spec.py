@@ -93,6 +93,7 @@ class PartialSpec:
     # declarations
     # ------------------------------------------------------------------
     def declare_channel(self, name: str, role: ChannelRole = ChannelRole.PASSIVE) -> None:
+        """Declare a handshake channel with the given role."""
         existing = self.channels.get(name)
         if existing is not None and existing != role:
             raise PetriNetError(f"channel {name!r} already declared as {existing.value}")
@@ -100,6 +101,7 @@ class PartialSpec:
 
     def declare_partial_signal(self, name: str,
                                kind: SignalKind = SignalKind.OUTPUT) -> None:
+        """Declare a signal whose reset events the tool may place freely."""
         if kind == SignalKind.INPUT:
             raise PetriNetError(
                 "partial signals are implemented by the circuit; inputs cannot "
@@ -107,6 +109,7 @@ class PartialSpec:
         self.partial_signals[name] = kind
 
     def declare_signal(self, name: str, kind: SignalKind) -> None:
+        """Declare a fully specified signal of the given kind."""
         self.full_signals[name] = kind
 
     # ------------------------------------------------------------------
@@ -145,10 +148,12 @@ class PartialSpec:
         return name
 
     def add_place(self, name: str, tokens: int = 0) -> str:
+        """Add an explicit place; returns its name."""
         self.net.add_place(name, tokens)
         return name
 
     def connect(self, source: str, target: str) -> None:
+        """Add a causal arc between two abstract events (or places)."""
         for node in (source, target):
             if node not in self.net:
                 # Lazily create transitions for event-looking names.
@@ -159,15 +164,18 @@ class PartialSpec:
         self.net.add_arc(source, target)
 
     def chain(self, *nodes: str) -> None:
+        """Connect the nodes in sequence."""
         for src, dst in zip(nodes, nodes[1:]):
             self.connect(src, dst)
 
     def cycle(self, *nodes: str) -> None:
+        """Connect the nodes in a closed cycle."""
         self.chain(*nodes)
         if len(nodes) > 1:
             self.connect(nodes[-1], nodes[0])
 
     def mark(self, *places: str) -> None:
+        """Put one token on each named (or implicit ``<a,b>``) place."""
         marking = dict(self.net._initial)
         for place in places:
             if not self.net.has_place(place):
@@ -176,6 +184,7 @@ class PartialSpec:
         self.net.set_initial(marking)
 
     def set_initial_value(self, signal: str, value: int) -> None:
+        """Fix a signal's initial binary value."""
         if value not in (0, 1):
             raise PetriNetError("initial value must be 0 or 1")
         self.initial_values[signal] = value
@@ -184,6 +193,7 @@ class PartialSpec:
     # inspection
     # ------------------------------------------------------------------
     def events(self) -> List[AbstractEvent]:
+        """Every declared abstract event."""
         return [t.label for t in self.net.transitions if t.label is not None]
 
     def wire_names(self, channel: str) -> Tuple[str, str]:

@@ -265,39 +265,48 @@ class PetriNet:
     # ------------------------------------------------------------------
     @property
     def places(self) -> List[Place]:
+        """Every place, in insertion order."""
         return list(self._places.values())
 
     @property
     def transitions(self) -> List[Transition]:
+        """Every transition, in insertion order."""
         return list(self._transitions.values())
 
     @property
     def place_names(self) -> List[str]:
+        """Place names, in insertion order."""
         return list(self._places)
 
     @property
     def transition_names(self) -> List[str]:
+        """Transition names, in insertion order."""
         return list(self._transitions)
 
     def has_place(self, name: str) -> bool:
+        """Whether a place named ``name`` exists."""
         return name in self._places
 
     def has_transition(self, name: str) -> bool:
+        """Whether a transition named ``name`` exists."""
         return name in self._transitions
 
     def place(self, name: str) -> Place:
+        """The place named ``name``; raises :class:`PetriNetError` if unknown."""
         try:
             return self._places[name]
         except KeyError:
             raise PetriNetError(f"unknown place {name!r}") from None
 
     def transition(self, name: str) -> Transition:
+        """The transition named ``name``; raises :class:`PetriNetError` if unknown."""
         try:
             return self._transitions[name]
         except KeyError:
             raise PetriNetError(f"unknown transition {name!r}") from None
 
     def label_of(self, transition: str) -> object:
+        """The label attached to ``transition``."""
         return self.transition(transition).label
 
     def relabel_transition(self, name: str, label: object) -> None:

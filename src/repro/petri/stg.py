@@ -27,6 +27,7 @@ class SignalKind(Enum):
 
     @property
     def is_observable(self) -> bool:
+        """Inputs and outputs are observable; internal signals are not."""
         return self in (SignalKind.INPUT, SignalKind.OUTPUT)
 
 
@@ -38,6 +39,7 @@ class Direction(Enum):
     TOGGLE = "~"
 
     def opposite(self) -> "Direction":
+        """``RISE`` for ``FALL`` and vice versa."""
         if self is Direction.RISE:
             return Direction.FALL
         if self is Direction.FALL:
@@ -76,6 +78,7 @@ class SignalEvent:
         return SignalEvent(self.signal, self.direction)
 
     def with_instance(self, instance: int) -> "SignalEvent":
+        """The same event with another instance number."""
         return SignalEvent(self.signal, self.direction, instance)
 
     def opposite(self) -> "SignalEvent":
@@ -108,6 +111,7 @@ class STG:
 
     @property
     def name(self) -> str:
+        """The model name (shared with the underlying net)."""
         return self.net.name
 
     @name.setter
@@ -125,24 +129,29 @@ class STG:
         self.signals[name] = kind
 
     def kind_of(self, signal: str) -> SignalKind:
+        """The declared kind of ``signal``; raises ``STGError`` if unknown."""
         try:
             return self.signals[signal]
         except KeyError:
             raise PetriNetError(f"undeclared signal {signal!r}") from None
 
     def signals_of_kind(self, *kinds: SignalKind) -> List[str]:
+        """Signals of the given kinds, in declaration order."""
         return [s for s, k in self.signals.items() if k in kinds]
 
     @property
     def inputs(self) -> List[str]:
+        """Input signals, in declaration order."""
         return self.signals_of_kind(SignalKind.INPUT)
 
     @property
     def outputs(self) -> List[str]:
+        """Output signals, in declaration order."""
         return self.signals_of_kind(SignalKind.OUTPUT)
 
     @property
     def internals(self) -> List[str]:
+        """Internal signals, in declaration order."""
         return self.signals_of_kind(SignalKind.INTERNAL)
 
     @property
@@ -151,6 +160,7 @@ class STG:
         return self.signals_of_kind(SignalKind.OUTPUT, SignalKind.INTERNAL)
 
     def is_input_event(self, event: SignalEvent) -> bool:
+        """Whether ``event`` belongs to an input signal."""
         return self.kind_of(event.signal) == SignalKind.INPUT
 
     # ------------------------------------------------------------------
@@ -250,6 +260,7 @@ class STG:
         self.initial_values[signal] = value
 
     def copy(self, name: Optional[str] = None) -> "STG":
+        """A deep copy, optionally renamed."""
         clone = STG(name or self.name)
         clone.net = self.net.copy(name or self.name)
         clone.signals = dict(self.signals)

@@ -23,6 +23,8 @@ from .config import (DEFAULT_VERIFY_MAX_STATES, STAGE_ORDER,
                      register_library, resolve_library)
 from .hashing import (canonical, digest_payload, graph_digest,
                       netlist_digest, netlist_payload, text_digest)
+from .jobs import (run_synth_job, run_synth_job_with_status, summary_row,
+                   synth_job_payload)
 from .stages import (PipelineError, PipelineResult, ReductionSummary,
                      StageResult, cached_graph_digest, run_pipeline,
                      run_reduction)
@@ -34,6 +36,8 @@ __all__ = [
     "library_name", "register_library", "resolve_library",
     "canonical", "digest_payload", "graph_digest", "netlist_digest",
     "netlist_payload", "text_digest",
+    "run_synth_job", "run_synth_job_with_status", "summary_row",
+    "synth_job_payload",
     "PipelineError", "PipelineResult", "ReductionSummary", "StageResult",
     "cached_graph_digest", "run_pipeline", "run_reduction",
     "STORE_SCHEMA", "ArtifactStore",

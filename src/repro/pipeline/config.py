@@ -32,6 +32,13 @@ from ..circuit.library import DEFAULT_LIBRARY, Library
 from ..timing.delays import TABLE1_DELAYS, DelayModel
 from .hashing import digest_payload, fraction_text
 
+__all__ = [
+    "DEFAULT_VERIFY_MAX_STATES", "STAGE_ORDER", "STRATEGIES",
+    "STRATEGY_DEFAULTS", "VERIFY_MODELS", "FlowConfig", "canonical_keep",
+    "delays_from_payload", "delays_payload", "library_name",
+    "register_library", "resolve_library",
+]
+
 KeepPairs = Tuple[Tuple[str, str], ...]
 
 #: The reduction strategies the flow understands: ``none`` keeps maximal
@@ -132,6 +139,7 @@ def delays_payload(delays: DelayModel) -> Dict[str, object]:
 
 
 def delays_from_payload(payload: Dict[str, object]) -> DelayModel:
+    """Rebuild a :class:`DelayModel` from :func:`delays_payload` output."""
     return DelayModel(
         Fraction(payload["input"]), Fraction(payload["output"]),
         Fraction(payload["internal"]),
@@ -229,6 +237,7 @@ class FlowConfig:
         return default if self.max_explored is None else self.max_explored
 
     def resolved_library(self) -> Library:
+        """The registered :class:`Library` object this config names."""
         return resolve_library(self.library)
 
     # ------------------------------------------------------------------
@@ -255,6 +264,7 @@ class FlowConfig:
 
     @staticmethod
     def from_payload(payload: Dict[str, object]) -> "FlowConfig":
+        """Rebuild a config from :meth:`to_payload` output."""
         return FlowConfig(
             strategy=payload["strategy"],
             weight=float(payload["weight"]),
@@ -272,10 +282,12 @@ class FlowConfig:
             verify_max_states=payload["verify_max_states"])
 
     def to_json(self) -> str:
+        """The payload as deterministic, sorted JSON text."""
         return json.dumps(self.to_payload(), indent=2, sort_keys=True) + "\n"
 
     @staticmethod
     def from_json(text: str) -> "FlowConfig":
+        """Parse a config from :meth:`to_json` text."""
         return FlowConfig.from_payload(json.loads(text))
 
     def digest(self) -> str:

@@ -49,6 +49,10 @@ from .config import STAGE_ORDER, FlowConfig
 from .hashing import digest_payload, graph_digest, text_digest
 from .store import ArtifactStore
 
+__all__ = ["PipelineError", "PipelineResult", "ReductionSummary",
+           "StageResult", "cached_graph_digest", "run_pipeline",
+           "run_reduction"]
+
 #: Worker-side decode memo: payload digest -> decoded state graph.  Sweep
 #: points of one spec decode the same initial-SG payload thousands of
 #: times; stages never mutate their inputs, so sharing the decoded object
@@ -130,6 +134,7 @@ class ReductionSummary:
 
     @property
     def improved(self) -> bool:
+        """Whether the search beat the initial cost."""
         return (self.best_cost is not None and self.initial_cost is not None
                 and self.best_cost < self.initial_cost)
 
@@ -225,6 +230,7 @@ class PipelineResult:
         return self._decoded[key]
 
     def stg_text(self) -> Optional[str]:
+        """The expanded STG text, when expansion was part of this run."""
         expand = self.results.get("expand")
         return None if expand is None else expand.payload["stg"]
 
@@ -237,19 +243,24 @@ class PipelineResult:
             else parse_stg(expand.payload["stg"])
 
     def initial_sg(self) -> StateGraph:
+        """The generated (maximal-concurrency) state graph, decoded."""
         return self._sg("generate", self.results["generate"].payload)
 
     def reduced_sg(self) -> StateGraph:
+        """The state graph after concurrency reduction, decoded."""
         return self._sg("reduce", self.results["reduce"].payload["sg"])
 
     def resolved_sg(self) -> StateGraph:
+        """The CSC-resolved state graph, decoded."""
         return self._sg("resolve", self.results["resolve"].payload["sg"])
 
     def insertions(self) -> List:
+        """The state-signal insertion choices, decoded."""
         return [insertion_from_payload(entry)
                 for entry in self.results["resolve"].payload["insertions"]]
 
     def csc_resolved(self) -> bool:
+        """Whether CSC resolution succeeded within budget."""
         return self.results["resolve"].payload["resolved"]
 
     def exploration(self):
@@ -267,10 +278,12 @@ class PipelineResult:
                                 stats=self.reduction_stats())
 
     def reduction_stats(self) -> Optional[ExplorationStats]:
+        """Exploration statistics of the reduce stage, if it searched."""
         stats = self.results["reduce"].payload["stats"]
         return None if stats is None else ExplorationStats(**stats)
 
     def circuit(self) -> Optional[CircuitImplementation]:
+        """The synthesized circuit, decoded (``None`` when CSC failed)."""
         result = self.results["synthesize"]
         if result.live is not None:
             return result.live
@@ -284,16 +297,20 @@ class PipelineResult:
         return self._decoded[key]
 
     def area_estimate(self) -> Optional[float]:
+        """The optimistic area estimate when CSC stayed unresolved."""
         return self.results["synthesize"].payload["area_estimate"]
 
     def resynthesised_stg(self):
+        """The re-derived STG, when ``resynthesise`` was enabled."""
         text = self.results["synthesize"].payload["stg"]
         return None if text is None else parse_stg(text)
 
     def cycle(self):
+        """The critical-cycle report, decoded (``None`` if timing failed)."""
         return cycle_from_payload(self.results["timing"].payload["cycle"])
 
     def verification(self):
+        """The verification report, when the config asked for one."""
         result = self.results.get("verify")
         if result is None:
             return None

@@ -21,10 +21,13 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+import threading
 from pathlib import Path
 from typing import Dict, Iterator, List, Optional
 
 from .hashing import digest_payload
+
+__all__ = ["STORE_SCHEMA", "ArtifactStore"]
 
 #: Bump when the entry layout or key derivation changes; old entries are
 #: simply never looked up again (``repro cache gc`` reclaims the bytes).
@@ -37,6 +40,13 @@ class ArtifactStore:
     def __init__(self, root) -> None:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        # Lazy payload-digest -> key index for entry_by_digest; keys already
+        # scanned are skipped on the next miss.  The lock keeps concurrent
+        # lookups (the serving layer calls this from executor threads) from
+        # observing a half-built index and answering a false miss.
+        self._digest_index: Dict[str, str] = {}
+        self._indexed: set = set()
+        self._index_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # keys and paths
@@ -96,7 +106,47 @@ class ArtifactStore:
             except OSError:
                 pass
             raise
+        with self._index_lock:
+            self._digest_index[entry["digest"]] = key
+            self._indexed.add(key)
         return entry
+
+    # ------------------------------------------------------------------
+    # content lookup (the ``GET /artifacts/<digest>`` surface)
+    # ------------------------------------------------------------------
+    def entry_by_digest(self, digest: str) -> Optional[Dict[str, object]]:
+        """The entry whose *payload digest* is ``digest``, or ``None``.
+
+        Stage keys bind to how content was produced; the payload digest
+        names the content itself, so this is how a client resolves an
+        artifact reference (e.g. from a job result) without knowing which
+        stage evaluation wrote it.  Backed by a lazy in-memory index over
+        the directory: only keys not seen before are scanned on a miss,
+        and entries written through this handle index themselves.
+        """
+        with self._index_lock:
+            key = self._digest_index.get(digest)
+            if key is not None:
+                entry = self.get_entry(key)
+                if entry is not None and entry.get("digest") == digest:
+                    return entry
+                # The indexed key vanished (external gc/clear): the lazy
+                # index is no longer trustworthy -- drop it and rescan
+                # everything (another surviving key may hold the digest).
+                self._digest_index.clear()
+                self._indexed.clear()
+            found = None
+            for key in self.keys():
+                if key in self._indexed:
+                    continue
+                self._indexed.add(key)
+                entry = self.get_entry(key)
+                if entry is None:
+                    continue
+                self._digest_index[entry["digest"]] = key
+                if entry["digest"] == digest and found is None:
+                    found = entry
+            return found
 
     # ------------------------------------------------------------------
     # maintenance (the ``repro cache`` surface)
@@ -166,6 +216,7 @@ class ArtifactStore:
     # iteration
     # ------------------------------------------------------------------
     def keys(self) -> List[str]:
+        """Every stored key, sorted."""
         return sorted(path.stem for path in self.root.glob("*.json"))
 
     def __len__(self) -> int:

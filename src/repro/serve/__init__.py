@@ -1,0 +1,47 @@
+"""Synthesis-as-a-service: an async batched HTTP front end to the flow.
+
+The staged pipeline (PR 4) made every evaluation content-addressed and
+resumable; this package turns that substrate into a long-running service.
+One ``repro serve`` process accepts concurrent synthesis and sweep
+requests over HTTP, deduplicates identical work in flight (one
+computation, many waiters), serves repeats from the shared
+:class:`~repro.pipeline.ArtifactStore`, micro-batches queued points into
+spec-coherent chunks so worker caches amortize, and runs the heavy stages
+in a bounded process pool -- the event loop never computes.
+
+Layering (transport-down):
+
+* :mod:`.http`   -- minimal stdlib asyncio HTTP/1.1 + ``BackgroundServer``;
+* :mod:`.app`    -- routes, request policy, deterministic JSON rendering;
+* :mod:`.jobs`   -- registry, dedup, fair FIFO queue, micro-batcher,
+  bounded executor, per-job budgets;
+* :mod:`.protocol` -- canonical tasks and content-addressed job ids;
+* :mod:`.tasks`  -- worker-side chunk execution over the staged pipeline.
+
+Quickstart::
+
+    $ repro serve --port 8080 --store .serve-store --workers 2 &
+    $ curl -s -X POST localhost:8080/synth \\
+        -d '{"spec": "half", "config": {"verify": true}, "wait": true}'
+
+See ``docs/architecture.md`` (service layer) and the README serving
+quickstart.
+"""
+
+from .app import ServeApp, json_bytes
+from .http import BackgroundServer, start_server
+from .jobs import JOB_STATUSES, Job, JobManager
+from .protocol import (SERVE_SCHEMA, ProtocolError, job_id,
+                       parse_sweep_request, parse_synth_request,
+                       point_from_task, point_task, sweep_task, task_group)
+from .tasks import execute_chunk, run_task
+
+__all__ = [
+    "ServeApp", "json_bytes",
+    "BackgroundServer", "start_server",
+    "JOB_STATUSES", "Job", "JobManager",
+    "SERVE_SCHEMA", "ProtocolError", "job_id", "parse_sweep_request",
+    "parse_synth_request", "point_from_task", "point_task", "sweep_task",
+    "task_group",
+    "execute_chunk", "run_task",
+]

@@ -1,0 +1,212 @@
+"""The service application: routes, request policy, JSON rendering.
+
+:class:`ServeApp` is transport-agnostic -- :meth:`dispatch` maps
+``(method, path, body)`` to ``(HTTP status, JSON payload)`` without ever
+touching a socket, so tests and embedders can drive the full service
+in-process; :mod:`repro.serve.http` is the thin asyncio socket layer over
+it.
+
+Routes::
+
+    POST /synth              one design point (.g text or registry spec)
+    POST /sweep              a whole grid, fanned into point jobs
+    GET  /jobs/<id>          job status / result / cache provenance
+    GET  /artifacts/<digest> any stored artifact, by content digest
+    GET  /healthz            liveness
+    GET  /stats              counters, queue depth, store stats
+
+``POST`` bodies may set ``"wait": true`` to block (bounded by the
+request's ``timeout`` budget) until the job finishes -- handy for scripts
+and benchmarks; the default is fire-and-poll, which is what a service
+under heavy traffic wants.
+
+Response bodies are rendered with sorted keys and no timestamps, so the
+``result`` of a finished job is **byte-identical** for a given task no
+matter which worker count, request interleaving or store temperature
+produced it (``stages`` and ``/stats`` are run-dependent by design).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Dict, Optional, Tuple
+
+from .. import __version__
+from ..pipeline.store import ArtifactStore
+from .jobs import JobManager
+from .protocol import (ProtocolError, parse_sweep_request,
+                       parse_synth_request, point_task)
+
+__all__ = ["ServeApp", "json_bytes"]
+
+#: Upper bound on request bodies (a whole .g spec is a few KB).
+MAX_BODY_BYTES = 4 * 1024 * 1024
+
+
+def json_bytes(payload: Dict[str, object]) -> bytes:
+    """Deterministic JSON rendering: sorted keys, compact, newline-ended."""
+    return (json.dumps(payload, sort_keys=True,
+                       separators=(",", ":")) + "\n").encode("utf-8")
+
+
+class ServeApp:
+    """Synthesis-as-a-service over one shared artifact store."""
+
+    def __init__(self,
+                 store_root: Optional[str] = None,
+                 workers: int = 1,
+                 batch_size: int = 8,
+                 default_timeout: Optional[float] = None,
+                 max_verify_states: Optional[int] = None) -> None:
+        self.store = (None if store_root is None
+                      else ArtifactStore(store_root))
+        self.manager = JobManager(
+            store_root=None if store_root is None else str(store_root),
+            workers=workers, batch_size=batch_size,
+            default_timeout=default_timeout)
+        self.max_verify_states = max_verify_states
+        self.requests: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # life cycle
+    # ------------------------------------------------------------------
+    async def startup(self) -> None:
+        """Start the job manager (must run inside the serving loop)."""
+        await self.manager.start()
+
+    async def shutdown(self) -> None:
+        """Stop dispatching and release the worker pool."""
+        await self.manager.stop()
+
+    # ------------------------------------------------------------------
+    # dispatch
+    # ------------------------------------------------------------------
+    #: The bounded per-route counter keys; anything else counts as
+    #: "other" so probing traffic cannot grow the stats dict.
+    _ROUTES = ("GET /healthz", "GET /stats", "GET /jobs", "GET /artifacts",
+               "POST /synth", "POST /sweep")
+
+    async def dispatch(self, method: str, path: str,
+                       body: bytes = b"") -> Tuple[int, Dict[str, object]]:
+        """Route one request; returns ``(status, JSON payload)``."""
+        head = path.split("/", 2)[1] if "/" in path else path
+        route = f"{method} /{head}"
+        if route not in self._ROUTES:
+            route = "other"
+        self.requests[route] = self.requests.get(route, 0) + 1
+        try:
+            return await self._route(method, path, body)
+        except ProtocolError as exc:
+            return exc.status, {"error": str(exc)}
+        except Exception as exc:  # noqa: BLE001 - the service must answer
+            return 500, {"error": f"{type(exc).__name__}: {exc}"}
+
+    async def _route(self, method: str, path: str,
+                     body: bytes) -> Tuple[int, Dict[str, object]]:
+        if method == "GET":
+            if path == "/healthz":
+                return 200, {"status": "ok", "version": __version__}
+            if path == "/stats":
+                return 200, await self._stats()
+            if path.startswith("/jobs/"):
+                return self._job_view(path[len("/jobs/"):])
+            if path.startswith("/artifacts/"):
+                return await self._artifact(path[len("/artifacts/"):])
+        elif method == "POST":
+            payload = self._json_body(body)
+            if path == "/synth":
+                return await self._synth(payload)
+            if path == "/sweep":
+                return await self._sweep(payload)
+        else:
+            return 405, {"error": f"method {method} not allowed"}
+        return 404, {"error": f"no route {method} {path}"}
+
+    # ------------------------------------------------------------------
+    # handlers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _json_body(body: bytes):
+        if len(body) > MAX_BODY_BYTES:
+            raise ProtocolError("request body too large", status=413)
+        if not body:
+            raise ProtocolError("a JSON request body is required")
+        try:
+            return json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ProtocolError(f"invalid JSON body: {exc}") from None
+
+    @staticmethod
+    def _budget(payload) -> Tuple[bool, Optional[float]]:
+        wait = bool(payload.get("wait", False))
+        timeout = payload.get("timeout")
+        if timeout is not None:
+            try:
+                timeout = float(timeout)
+            except (TypeError, ValueError):
+                raise ProtocolError("'timeout' must be a number of seconds") \
+                    from None
+            if timeout <= 0:
+                raise ProtocolError("'timeout' must be positive")
+        return wait, timeout
+
+    async def _synth(self, payload) -> Tuple[int, Dict[str, object]]:
+        wait, timeout = self._budget(payload)
+        task = parse_synth_request(payload, self.max_verify_states)
+        job, _ = self.manager.submit(task, timeout=timeout)
+        if wait:
+            await self._await_job(job, timeout)
+        return (200 if job.finished else 202), job.view()
+
+    async def _sweep(self, payload) -> Tuple[int, Dict[str, object]]:
+        wait, timeout = self._budget(payload)
+        grid = parse_sweep_request(payload, self.max_verify_states)
+        points = grid.points
+        job, _ = self.manager.submit_sweep(
+            points, [point_task(point) for point in points], timeout=timeout)
+        if wait:
+            await self._await_job(job, timeout)
+        view = job.view()
+        view["points"] = len(points)
+        return (200 if job.finished else 202), view
+
+    @staticmethod
+    async def _await_job(job, timeout: Optional[float]) -> None:
+        try:
+            # The watchdog fails the job at its own deadline; the extra
+            # slack here only covers scheduling latency.
+            await asyncio.wait_for(job.done.wait(),
+                                   None if timeout is None else timeout + 5.0)
+        except asyncio.TimeoutError:
+            pass
+
+    def _job_view(self, jid: str) -> Tuple[int, Dict[str, object]]:
+        job = self.manager.get(jid)
+        if job is None:
+            return 404, {"error": f"unknown job {jid!r}"}
+        return (200 if job.finished else 202), job.view()
+
+    async def _artifact(self, digest: str) -> Tuple[int, Dict[str, object]]:
+        if self.store is None:
+            return 404, {"error": "this server runs without a store"}
+        # A miss scans not-yet-indexed store entries: off the event loop.
+        loop = asyncio.get_running_loop()
+        entry = await loop.run_in_executor(None, self.store.entry_by_digest,
+                                           digest)
+        if entry is None:
+            return 404, {"error": f"no artifact with digest {digest!r}"}
+        return 200, {"digest": entry["digest"], "stage": entry["stage"],
+                     "payload": entry["payload"]}
+
+    async def _stats(self) -> Dict[str, object]:
+        stats: Dict[str, object] = self.manager.snapshot()
+        stats["requests"] = dict(sorted(self.requests.items()))
+        if self.store is None:
+            stats["store"] = None
+        else:
+            # stats() reads every entry in the store directory: off-loop.
+            loop = asyncio.get_running_loop()
+            stats["store"] = await loop.run_in_executor(None,
+                                                        self.store.stats)
+        return stats

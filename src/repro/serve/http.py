@@ -1,0 +1,196 @@
+"""Minimal asyncio HTTP/1.1 transport over :class:`~repro.serve.app.ServeApp`.
+
+Just enough HTTP for a JSON API, on the standard library alone: request
+line + headers + ``Content-Length`` bodies, keep-alive by default,
+``Connection: close`` honoured, bounded header/body sizes.  No chunked
+transfer, no TLS, no compression -- put a reverse proxy in front for
+those; this layer's job is to keep the event loop honest (all parsing is
+incremental reads with limits) and hand everything else to
+:meth:`ServeApp.dispatch`.
+
+:class:`BackgroundServer` runs the whole service (loop, app, sockets) in
+a daemon thread -- the embedding surface used by the tests, the
+benchmarks and ``examples/serve_client.py`` to exercise the real network
+stack without a subprocess.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from typing import Optional
+
+from .app import MAX_BODY_BYTES, ServeApp, json_bytes
+
+__all__ = ["BackgroundServer", "start_server"]
+
+#: Upper bound on the request line plus headers.
+MAX_HEADER_BYTES = 32 * 1024
+
+_REASONS = {200: "OK", 202: "Accepted", 400: "Bad Request", 404: "Not Found",
+            405: "Method Not Allowed", 408: "Request Timeout",
+            413: "Payload Too Large", 500: "Internal Server Error"}
+
+
+async def _read_request(reader: asyncio.StreamReader):
+    """Parse one request; returns ``(method, path, headers, body)`` or
+    ``None`` on a cleanly closed connection."""
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None  # client closed between requests
+        raise ValueError("truncated request head") from None
+    except asyncio.LimitOverrunError:
+        raise ValueError("request head too large") from None
+    if len(head) > MAX_HEADER_BYTES:
+        raise ValueError("request head too large")
+    lines = head.decode("latin-1").split("\r\n")
+    try:
+        method, target, _version = lines[0].split(" ", 2)
+    except ValueError:
+        raise ValueError(f"malformed request line {lines[0]!r}") from None
+    headers = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, _, value = line.partition(":")
+        headers[name.strip().lower()] = value.strip()
+    length = int(headers.get("content-length", "0") or "0")
+    if length > MAX_BODY_BYTES:
+        raise ValueError("request body too large")
+    body = await reader.readexactly(length) if length else b""
+    path = target.split("?", 1)[0]
+    return method.upper(), path, headers, body
+
+
+def _response_bytes(status: int, body: bytes, keep_alive: bool) -> bytes:
+    reason = _REASONS.get(status, "Unknown")
+    connection = "keep-alive" if keep_alive else "close"
+    head = (f"HTTP/1.1 {status} {reason}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: {connection}\r\n\r\n")
+    return head.encode("latin-1") + body
+
+
+async def _handle_connection(app: ServeApp,
+                             reader: asyncio.StreamReader,
+                             writer: asyncio.StreamWriter) -> None:
+    try:
+        while True:
+            try:
+                request = await _read_request(reader)
+            except ValueError as exc:
+                writer.write(_response_bytes(
+                    400, json_bytes({"error": str(exc)}), keep_alive=False))
+                await writer.drain()
+                break
+            if request is None:
+                break
+            method, path, headers, body = request
+            status, payload = await app.dispatch(method, path, body)
+            keep_alive = headers.get("connection", "keep-alive") != "close"
+            writer.write(_response_bytes(status, json_bytes(payload),
+                                         keep_alive))
+            await writer.drain()
+            if not keep_alive:
+                break
+    except (ConnectionResetError, BrokenPipeError, asyncio.IncompleteReadError):
+        pass
+    finally:
+        try:
+            writer.close()
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            pass
+
+
+async def start_server(app: ServeApp, host: str = "127.0.0.1",
+                       port: int = 0) -> asyncio.AbstractServer:
+    """Bind the listening socket; ``port=0`` picks an ephemeral port."""
+
+    async def handler(reader, writer):
+        await _handle_connection(app, reader, writer)
+
+    return await asyncio.start_server(handler, host, port,
+                                      limit=MAX_HEADER_BYTES)
+
+
+class BackgroundServer:
+    """A full service (loop + app + socket) in a daemon thread.
+
+    Usage::
+
+        with BackgroundServer(store_root=".serve-store", workers=1) as server:
+            urllib.request.urlopen(f"http://127.0.0.1:{server.port}/healthz")
+
+    ``port`` is the bound ephemeral port once :meth:`start` returns; the
+    context manager stops the loop and the worker pool on exit.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0,
+                 **app_kwargs) -> None:
+        self.app = ServeApp(**app_kwargs)
+        self.host = host
+        self.port: Optional[int] = port or None
+        self._requested_port = port
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._ready = threading.Event()
+        self._boot_error: Optional[BaseException] = None
+
+    def start(self) -> "BackgroundServer":
+        """Start the thread; returns once the socket is bound."""
+        self._thread = threading.Thread(target=self._run, daemon=True,
+                                        name="repro-serve")
+        self._thread.start()
+        self._ready.wait(timeout=30)
+        if self._boot_error is not None:
+            raise RuntimeError("server failed to start") from self._boot_error
+        if self.port is None:
+            raise RuntimeError("server did not bind within 30s")
+        return self
+
+    def _run(self) -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        self._loop = loop
+        server: Optional[asyncio.AbstractServer] = None
+        try:
+            async def boot():
+                await self.app.startup()
+                return await start_server(self.app, self.host,
+                                          self._requested_port)
+
+            server = loop.run_until_complete(boot())
+            self.port = server.sockets[0].getsockname()[1]
+            self._ready.set()
+            loop.run_forever()
+        except BaseException as exc:  # surface boot failures to start()
+            self._boot_error = exc
+            self._ready.set()
+        finally:
+            async def teardown():
+                if server is not None:
+                    server.close()
+                    await server.wait_closed()
+                await self.app.shutdown()
+
+            try:
+                loop.run_until_complete(teardown())
+            finally:
+                loop.close()
+
+    def stop(self) -> None:
+        """Stop the loop and join the thread (idempotent)."""
+        if self._loop is not None and self._loop.is_running():
+            self._loop.call_soon_threadsafe(self._loop.stop)
+        if self._thread is not None:
+            self._thread.join(timeout=30)
+
+    def __enter__(self) -> "BackgroundServer":
+        return self.start()
+
+    def __exit__(self, *_exc_info) -> None:
+        self.stop()

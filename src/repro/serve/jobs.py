@@ -1,0 +1,407 @@
+"""Async job manager: dedup, fair queue, micro-batching, bounded workers.
+
+The manager is the single-threaded (asyncio) brain of the service; heavy
+work never runs on the event loop.  Its life cycle per request:
+
+1. **Dedup.**  A job's id is the content digest of its canonical task
+   (:func:`~repro.serve.protocol.job_id`).  Submitting a task whose id is
+   already known returns the existing job: concurrent identical requests
+   share one in-flight computation, and repeated requests are served from
+   the finished-job history without touching the queue at all (the
+   artifact store additionally makes a *restarted* server warm).
+
+2. **Fair queue.**  New jobs join a FIFO ``pending`` deque -- arrival
+   order, no priorities, so no client can starve another.
+
+3. **Micro-batching.**  The dispatcher drains the queued backlog and
+   partitions it with the sweep's own chunker
+   (:func:`repro.sweep.runner.make_chunks`), keyed by the task's
+   affinity group (same spec / same ``.g`` text,
+   :func:`~repro.serve.protocol.task_group`) and capped at
+   ``batch_size`` jobs per chunk.  Each chunk runs as one executor
+   call, so worker-side SG and memo caches amortize across the batch
+   exactly like a sweep chunk.
+
+4. **Bounded execution.**  At most ``workers`` chunks are in flight; the
+   executor is a ``ProcessPoolExecutor`` (or an in-process thread when
+   ``workers == 0``, for tests and debugging).  Per-job wall-clock budgets
+   are enforced by deadline watchdogs: an expired job fails with a
+   ``timeout`` error and its late result, if any, is discarded on arrival
+   (the store still absorbs the artifacts, so the work is not wasted).
+
+Everything observable about a *finished* job (``result``) is
+deterministic; scheduling artifacts (stage cache provenance, timings,
+counters) live on ``stages`` and the stats surface, never inside results.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import concurrent.futures
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Tuple
+
+from ..sweep.report import COLUMNS
+from ..sweep.runner import make_chunks
+from .protocol import job_id, sweep_task, task_group
+
+__all__ = ["Job", "JobManager", "JOB_STATUSES"]
+
+#: Job life cycle: ``queued -> running -> done | failed``.
+JOB_STATUSES = ("queued", "running", "done", "failed")
+
+#: Finished jobs kept in the in-memory history (oldest evicted first).
+HISTORY_LIMIT = 4096
+
+
+@dataclass
+class Job:
+    """One unit of requested work, addressed by its content digest."""
+
+    id: str
+    kind: str
+    task: Dict[str, object]
+    group: str
+    status: str = "queued"
+    result: Optional[Dict[str, object]] = None
+    stages: Optional[Dict[str, object]] = None
+    error: Optional[str] = None
+    #: Child job ids (sweep parents only), in grid order.
+    children: List[str] = field(default_factory=list)
+    #: Set once the job reaches a terminal status.
+    done: asyncio.Event = field(default_factory=asyncio.Event)
+    #: Watchdog handle for the per-job budget, if any.
+    _deadline: Optional[asyncio.TimerHandle] = field(default=None, repr=False)
+
+    @property
+    def finished(self) -> bool:
+        """True in a terminal status (``done`` or ``failed``)."""
+        return self.status in ("done", "failed")
+
+    def view(self) -> Dict[str, object]:
+        """The JSON shape of this job as clients see it.
+
+        ``result`` is deterministic for a given task; ``stages`` is cache
+        provenance (run-dependent by design) and ``error`` is only set on
+        failures.
+        """
+        return {
+            "job": self.id,
+            "kind": self.kind,
+            "status": self.status,
+            "result": self.result,
+            "stages": self.stages,
+            "error": self.error,
+        }
+
+
+class JobManager:
+    """Owns the job registry, the queue, the batcher and the executor."""
+
+    def __init__(self,
+                 store_root: Optional[str] = None,
+                 workers: int = 1,
+                 batch_size: int = 8,
+                 default_timeout: Optional[float] = None) -> None:
+        if workers < 0:
+            raise ValueError("workers must be >= 0 (0 = in-process)")
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        self.store_root = store_root
+        self.workers = workers
+        self.batch_size = batch_size
+        self.default_timeout = default_timeout
+        self.jobs: Dict[str, Job] = {}
+        self.pending: Deque[str] = deque()
+        self.stats: Dict[str, object] = {
+            "submitted": 0, "dedup_hits": 0, "tasks_executed": 0,
+            "tasks_failed": 0, "timeouts": 0, "chunks": 0,
+            "late_results_discarded": 0,
+            "stage_computed": {}, "stage_reused": {},
+        }
+        self._wakeup = asyncio.Event()
+        self._slots = asyncio.Semaphore(max(1, workers))
+        self._executor: Optional[concurrent.futures.Executor] = None
+        self._dispatcher: Optional[asyncio.Task] = None
+        self._chunk_tasks: set = set()
+        self._started = time.monotonic()
+        self._running = False
+
+    # ------------------------------------------------------------------
+    # life cycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Create the executor and the dispatcher loop."""
+        if self._running:
+            return
+        if self.workers == 0:
+            self._executor = concurrent.futures.ThreadPoolExecutor(
+                max_workers=1, thread_name_prefix="repro-serve")
+        else:
+            self._executor = concurrent.futures.ProcessPoolExecutor(
+                max_workers=self.workers)
+        self._running = True
+        self._started = time.monotonic()
+        self._dispatcher = asyncio.create_task(self._dispatch_loop())
+
+    async def stop(self) -> None:
+        """Stop dispatching and shut the executor down without waiting."""
+        if not self._running:
+            return
+        self._running = False
+        self._wakeup.set()
+        if self._dispatcher is not None:
+            self._dispatcher.cancel()
+            try:
+                await self._dispatcher
+            except asyncio.CancelledError:
+                pass
+        for task in list(self._chunk_tasks):
+            task.cancel()
+        if self._executor is not None:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+            self._executor = None
+
+    # ------------------------------------------------------------------
+    # submission
+    # ------------------------------------------------------------------
+    def submit(self, task: Dict[str, object],
+               timeout: Optional[float] = None) -> Tuple[Job, bool]:
+        """Register a task; returns ``(job, created)``.
+
+        ``created`` is ``False`` when an identical task is already known
+        (in flight or finished) -- the dedup path.  A previously *failed*
+        identical task is retried with a fresh job.
+        """
+        jid = job_id(task)
+        existing = self.jobs.get(jid)
+        if existing is not None and existing.status != "failed":
+            self.stats["dedup_hits"] += 1
+            return existing, False
+        job = Job(id=jid, kind=str(task["kind"]), task=task,
+                  group=task_group(task))
+        self.jobs[jid] = job
+        self.stats["submitted"] += 1
+        self._evict_history()
+        budget = self.default_timeout if timeout is None else timeout
+        if budget is not None and budget > 0:
+            loop = asyncio.get_running_loop()
+            job._deadline = loop.call_later(budget, self._expire, jid, budget)
+        self.pending.append(jid)
+        self._wakeup.set()
+        return job, True
+
+    def submit_sweep(self, points, point_tasks,
+                     timeout: Optional[float] = None) -> Tuple[Job, bool]:
+        """Register a sweep: one child job per point plus a merge parent.
+
+        Children go through :meth:`submit` individually, so points shared
+        with earlier sweeps (or still in flight for another client)
+        deduplicate at point granularity.  The parent never enters the
+        queue; a watcher coroutine assembles the rows in grid order once
+        every child reaches a terminal status.
+        """
+        children = []
+        for task in point_tasks:
+            child, _ = self.submit(task, timeout=timeout)
+            children.append(child)
+        parent_task = sweep_task([child.id for child in children])
+        jid = job_id(parent_task)
+        existing = self.jobs.get(jid)
+        if existing is not None and existing.status != "failed":
+            self.stats["dedup_hits"] += 1
+            return existing, False
+        parent = Job(id=jid, kind="sweep", task=parent_task, group="sweep",
+                     status="running",
+                     children=[child.id for child in children])
+        self.jobs[jid] = parent
+        self.stats["submitted"] += 1
+        budget = self.default_timeout if timeout is None else timeout
+        if budget is not None and budget > 0:
+            loop = asyncio.get_running_loop()
+            parent._deadline = loop.call_later(budget, self._expire, jid,
+                                               budget)
+        # Hold the child Job objects (dedup'd historical children may be
+        # evicted from the registry while we wait) and a strong reference
+        # to the watcher task (the loop only keeps weak ones).
+        watcher = asyncio.create_task(self._watch_sweep(parent, children))
+        self._chunk_tasks.add(watcher)
+        watcher.add_done_callback(self._chunk_tasks.discard)
+        return parent, True
+
+    async def _watch_sweep(self, parent: Job, children: List[Job]) -> None:
+        for child in children:
+            await child.done.wait()
+        if parent.finished:  # expired while waiting
+            return
+        failed = [child for child in children if child.status == "failed"]
+        if failed:
+            reasons = "; ".join(f"{child.id[:12]}: {child.error}"
+                                for child in failed[:3])
+            self._finish(parent.id, "failed",
+                         f"{len(failed)} of {len(children)} points failed "
+                         f"({reasons})", None)
+            return
+        rows = [child.result["row"] for child in children]
+        computed: Dict[str, int] = {}
+        reused: Dict[str, int] = {}
+        for child in children:
+            for stage, state in (child.stages or {}).items():
+                counts = reused if state == "cached" else computed
+                counts[stage] = counts.get(stage, 0) + 1
+        self._finish(parent.id, "done",
+                     {"columns": list(COLUMNS), "rows": rows},
+                     {"computed": computed, "reused": reused})
+
+    # ------------------------------------------------------------------
+    # dispatch
+    # ------------------------------------------------------------------
+    def _drain_queued(self) -> List[Job]:
+        """Pop every still-queued job off the pending deque, de-duplicated.
+
+        A job id can sit in the deque twice (a task that timed out while
+        queued and was then resubmitted under the same content digest);
+        the ``seen`` set guarantees each job joins at most one chunk.
+        """
+        seen: set = set()
+        backlog: List[Job] = []
+        while self.pending:
+            jid = self.pending.popleft()
+            job = self.jobs.get(jid)
+            if job is None or job.status != "queued" or jid in seen:
+                continue
+            seen.add(jid)
+            backlog.append(job)
+        return backlog
+
+    def _chunk_backlog(self, backlog: List[Job]) -> List[List[Job]]:
+        """Partition a drained backlog into affinity-coherent chunks.
+
+        Reuses the sweep's partitioner (:func:`repro.sweep.runner
+        .make_chunks`): jobs with the same affinity group (same spec /
+        same ``.g`` text) land in contiguous chunks of at most
+        ``batch_size``, so worker-side caches amortize across a chunk
+        exactly like a sweep chunk.
+        """
+        items = list(enumerate(backlog))
+        chunks = make_chunks(items, jobs=max(1, self.workers),
+                             chunk_size=self.batch_size,
+                             group_key=lambda job: job.group)
+        return [[job for _, job in chunk] for chunk in chunks]
+
+    async def _dispatch_loop(self) -> None:
+        ready: Deque[List[Job]] = deque()
+        while self._running:
+            await self._wakeup.wait()
+            self._wakeup.clear()
+            while (self.pending or ready) and self._running:
+                if not ready:
+                    backlog = self._drain_queued()
+                    if not backlog:
+                        break
+                    ready.extend(self._chunk_backlog(backlog))
+                    continue
+                await self._slots.acquire()
+                chunk = [job for job in ready.popleft()
+                         if job.status == "queued"]
+                if not chunk:
+                    self._slots.release()
+                    continue
+                for job in chunk:
+                    job.status = "running"
+                self.stats["chunks"] += 1
+                task = asyncio.create_task(self._run_chunk(chunk))
+                self._chunk_tasks.add(task)
+                task.add_done_callback(self._chunk_tasks.discard)
+
+    async def _run_chunk(self, chunk: List[Job]) -> None:
+        payload = [(job.id, job.task) for job in chunk]
+        loop = asyncio.get_running_loop()
+        try:
+            from .tasks import execute_chunk
+            results = await loop.run_in_executor(
+                self._executor, execute_chunk, self.store_root, payload)
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:  # pool died, broken pipe, ...
+            for job in chunk:
+                self._finish(job.id, "failed",
+                             f"executor failure: {type(exc).__name__}: {exc}",
+                             None)
+            return
+        finally:
+            self._slots.release()
+            self._wakeup.set()
+        for jid, status, result, stages in results:
+            if status == "done":
+                self._finish(jid, "done", result, stages)
+            else:
+                self.stats["tasks_failed"] += 1
+                self._finish(jid, "failed", result, None)
+
+    # ------------------------------------------------------------------
+    # completion
+    # ------------------------------------------------------------------
+    def _finish(self, jid: str, status: str, payload, stages) -> None:
+        job = self.jobs.get(jid)
+        if job is None:
+            return
+        if job.finished:  # expired earlier; discard the late result
+            self.stats["late_results_discarded"] += 1
+            return
+        job.status = status
+        if status == "done":
+            job.result = payload
+            job.stages = stages
+            if job.kind != "sweep":
+                self.stats["tasks_executed"] += 1
+                for stage, state in (stages or {}).items():
+                    counts = (self.stats["stage_reused"] if state == "cached"
+                              else self.stats["stage_computed"])
+                    counts[stage] = counts.get(stage, 0) + 1
+        else:
+            job.error = str(payload)
+        if job._deadline is not None:
+            job._deadline.cancel()
+            job._deadline = None
+        job.done.set()
+
+    def _expire(self, jid: str, budget: float) -> None:
+        job = self.jobs.get(jid)
+        if job is None or job.finished:
+            return
+        self.stats["timeouts"] += 1
+        self._finish(jid, "failed", f"timeout after {budget:g}s", None)
+
+    def _evict_history(self) -> None:
+        if len(self.jobs) <= HISTORY_LIMIT:
+            return
+        for jid in list(self.jobs):
+            if len(self.jobs) <= HISTORY_LIMIT:
+                break
+            job = self.jobs[jid]
+            if job.finished:
+                del self.jobs[jid]
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def get(self, jid: str) -> Optional[Job]:
+        """The job registered under ``jid``, if any."""
+        return self.jobs.get(jid)
+
+    def snapshot(self) -> Dict[str, object]:
+        """Run-dependent counters for the ``/stats`` surface."""
+        by_status = {status: 0 for status in JOB_STATUSES}
+        for job in self.jobs.values():
+            by_status[job.status] += 1
+        return {
+            "uptime_seconds": round(time.monotonic() - self._started, 3),
+            "workers": self.workers,
+            "batch_size": self.batch_size,
+            "queue_depth": len(self.pending),
+            "jobs": by_status,
+            **{key: value for key, value in self.stats.items()},
+        }

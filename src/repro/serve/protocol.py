@@ -1,0 +1,244 @@
+"""Request/task protocol of the synthesis service.
+
+Every request the service accepts is normalized here into a **task**: a
+canonical, pure-JSON payload whose SHA-256 digest is the job id.  Identity
+is therefore content-based -- two clients posting the same specification
+and configuration (however spelled: registry name vs. inline ``.g`` text,
+reordered ``keep_conc`` pairs, ``0.5`` vs ``1/2`` delays) produce the same
+job id, which is what lets the job manager deduplicate concurrent
+identical requests into one computation and serve repeats from history.
+
+Task kinds:
+
+* ``synth`` -- one design point over raw ``.g`` text and a full
+  :class:`~repro.pipeline.FlowConfig` payload;
+* ``point`` -- one sweep grid point (a serialized
+  :class:`~repro.sweep.SweepPoint`), evaluated through the very same
+  function the CLI sweep uses;
+* ``sweep`` -- a parent task naming its child point-task job ids in grid
+  order; it owns no computation of its own, only the merge.
+
+``ProtocolError`` carries an HTTP status so the app layer can translate
+validation failures into 4xx responses without string matching.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from ..pipeline.config import FlowConfig, canonical_keep
+from ..pipeline.hashing import digest_payload
+from ..specs import suite
+from ..sweep.grid import SweepGrid, SweepPoint, spec_registry, tables_grid
+
+__all__ = [
+    "SERVE_SCHEMA", "ProtocolError", "job_id", "parse_sweep_request",
+    "parse_synth_request", "point_from_task", "point_task", "sweep_task",
+    "task_group",
+]
+
+#: Bump when task payloads or job-id derivation change; job ids are only
+#: meaningful within one schema generation.
+SERVE_SCHEMA = 1
+
+_MODEL_LINE = re.compile(r"^\s*\.model\s+(\S+)", re.MULTILINE)
+
+
+class ProtocolError(Exception):
+    """A malformed or unsatisfiable request; ``status`` is the HTTP code."""
+
+    def __init__(self, message: str, status: int = 400) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+def job_id(task: Dict[str, object]) -> str:
+    """Content-addressed job identity: the digest of the canonical task."""
+    return digest_payload({"serve-job": SERVE_SCHEMA, "task": task})
+
+
+def task_group(task: Dict[str, object]) -> str:
+    """The micro-batching affinity key of a task.
+
+    Tasks with equal groups share worker-side caches (the generated state
+    graph, the engine memos), so the batcher keeps them in one chunk:
+    sweep points group by spec name, synthesis tasks by the digest of
+    their ``.g`` text.
+    """
+    if task["kind"] == "point":
+        return str(task["spec"])
+    if task["kind"] == "synth":
+        return "synth:" + digest_payload(task["stg"])[:16]
+    return "sweep"
+
+
+def _require_dict(payload, what: str) -> Dict[str, object]:
+    if not isinstance(payload, dict):
+        raise ProtocolError(f"{what} must be a JSON object, "
+                            f"got {type(payload).__name__}")
+    return payload
+
+
+def _spec_text(payload: Dict[str, object]) -> Tuple[str, str]:
+    """Resolve ``spec`` (registry name) or ``stg`` (inline text) to
+    ``(name, .g text)``."""
+    spec = payload.get("spec")
+    stg = payload.get("stg")
+    if (spec is None) == (stg is None):
+        raise ProtocolError(
+            "exactly one of 'spec' (a registry name) or 'stg' (inline .g "
+            "text) is required")
+    if spec is not None:
+        if not isinstance(spec, str):
+            raise ProtocolError("'spec' must be a string")
+        if spec in suite.suite_names():
+            return spec, suite.source_text(spec)
+        registry = spec_registry()
+        factory = registry.get(spec)
+        if factory is None:
+            raise ProtocolError(f"unknown spec {spec!r}; "
+                                f"available: {sorted(registry)}", status=404)
+        from ..petri.parser import write_stg
+        return spec, write_stg(factory())
+    if not isinstance(stg, str) or not stg.strip():
+        raise ProtocolError("'stg' must be non-empty .g text")
+    match = _MODEL_LINE.search(stg)
+    return (match.group(1) if match else "stg"), stg
+
+
+def _config_from_overrides(overrides,
+                           max_verify_states: Optional[int]) -> FlowConfig:
+    """A full :class:`FlowConfig` from partial payload overrides.
+
+    Starts from the config defaults, overlays the request's fields, and
+    normalizes the two spellings requests commonly use: ``delays`` as a
+    3-list ``[input, output, internal]`` and ``keep_conc`` as a pair list
+    in any order.  ``verify_max_states`` is clamped to the server budget.
+    """
+    overrides = dict(_require_dict(overrides if overrides is not None else {},
+                                   "'config'"))
+    payload = FlowConfig().to_payload()
+    unknown = sorted(set(overrides) - set(payload))
+    if unknown:
+        raise ProtocolError(f"unknown config field(s) {unknown}; "
+                            f"expected a subset of {sorted(payload)}")
+    delays = overrides.get("delays")
+    if isinstance(delays, (list, tuple)) and len(delays) == 3:
+        from ..pipeline.config import delays_payload
+        from ..timing.delays import DelayModel
+        overrides["delays"] = delays_payload(DelayModel.by_kind(*delays))
+    payload.update(overrides)
+    if payload["keep_conc"]:
+        try:
+            payload["keep_conc"] = [
+                list(pair) for pair in canonical_keep(
+                    tuple(pair) for pair in payload["keep_conc"])]
+        except TypeError:
+            raise ProtocolError("'keep_conc' must be a list of event pairs, "
+                                "e.g. [[\"li-\", \"ri-\"]]") from None
+    if max_verify_states is not None and payload["verify"]:
+        try:
+            payload["verify_max_states"] = min(
+                int(payload["verify_max_states"]), max_verify_states)
+        except (TypeError, ValueError):
+            raise ProtocolError(
+                "'verify_max_states' must be an integer") from None
+    try:
+        return FlowConfig.from_payload(payload)
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ProtocolError(f"invalid config: {exc}") from None
+
+
+def parse_synth_request(payload,
+                        max_verify_states: Optional[int] = None
+                        ) -> Dict[str, object]:
+    """Normalize a ``POST /synth`` body into a canonical ``synth`` task."""
+    payload = _require_dict(payload, "request body")
+    known = {"spec", "stg", "config", "name", "wait", "timeout"}
+    unknown = sorted(set(payload) - known)
+    if unknown:
+        raise ProtocolError(f"unknown request field(s) {unknown}; "
+                            f"expected a subset of {sorted(known)}")
+    name, text = _spec_text(payload)
+    config = _config_from_overrides(payload.get("config"), max_verify_states)
+    label = payload.get("name") or name
+    if not isinstance(label, str):
+        raise ProtocolError("'name' must be a string")
+    return {"kind": "synth", "name": label, "stg": text,
+            "config": config.to_payload()}
+
+
+def point_task(point: SweepPoint) -> Dict[str, object]:
+    """The canonical ``point`` task of one sweep grid point."""
+    task = {"kind": "point", "spec": point.spec, "point": point.config()}
+    task["point"]["variant"] = point.variant
+    return task
+
+
+def point_from_task(task: Dict[str, object]) -> SweepPoint:
+    """Rebuild the :class:`SweepPoint` a ``point`` task names."""
+    fields = task["point"]
+    return SweepPoint(
+        spec=fields["spec"],
+        strategy=fields["strategy"],
+        weight=fields["weight"],
+        frontier=fields["frontier"],
+        keep=tuple(tuple(pair) for pair in fields["keep"]),
+        max_explored=fields["max_explored"],
+        delays=tuple(fields["delays"]),
+        verify=fields["verify"],
+        verify_max_states=fields["verify_max_states"],
+        variant=fields.get("variant", ""))
+
+
+def parse_sweep_request(payload,
+                        max_verify_states: Optional[int] = None) -> SweepGrid:
+    """Build the sweep grid a ``POST /sweep`` body describes.
+
+    Accepts the same axes as ``repro sweep``: ``specs``, ``strategies``,
+    ``weights``, ``frontier``, ``max_explored``, ``keep_variants``,
+    ``delays`` (a 3-list), ``verify`` and ``verify_max_states``.
+    """
+    payload = _require_dict(payload, "request body")
+    known = {"specs", "strategies", "weights", "frontier", "max_explored",
+             "keep_variants", "delays", "verify", "verify_max_states",
+             "wait", "timeout"}
+    unknown = sorted(set(payload) - known)
+    if unknown:
+        raise ProtocolError(f"unknown sweep field(s) {unknown}; "
+                            f"expected a subset of {sorted(known)}")
+    verify = bool(payload.get("verify", False))
+    verify_max_states = payload.get("verify_max_states")
+    if verify and max_verify_states is not None:
+        try:
+            verify_max_states = (max_verify_states
+                                 if verify_max_states is None
+                                 else min(int(verify_max_states),
+                                          max_verify_states))
+        except (TypeError, ValueError):
+            raise ProtocolError(
+                "'verify_max_states' must be an integer") from None
+    try:
+        grid = tables_grid(
+            specs=payload.get("specs"),
+            strategies=payload.get("strategies",
+                                   ("none", "beam", "best-first", "full")),
+            weights=[float(w) for w in payload.get("weights",
+                                                   (0.0, 0.5, 1.0))],
+            frontier=payload.get("frontier"),
+            include_keep_variants=bool(payload.get("keep_variants", True)),
+            max_explored=payload.get("max_explored"),
+            delays=payload.get("delays"),
+            verify=verify,
+            verify_max_states=verify_max_states)
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ProtocolError(f"invalid sweep request: {exc}") from None
+    if not grid.points:
+        raise ProtocolError("the requested grid is empty")
+    return grid
+
+
+def sweep_task(child_ids: List[str]) -> Dict[str, object]:
+    """The parent task of a sweep: its children's job ids in grid order."""
+    return {"kind": "sweep", "children": list(child_ids)}

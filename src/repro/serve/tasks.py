@@ -1,0 +1,73 @@
+"""Worker-side task execution (runs inside the pool processes).
+
+:func:`execute_chunk` is the one function the service ever submits to its
+executor: it takes a spec-coherent chunk of ``(job id, task)`` items,
+opens the shared artifact store, and evaluates each task through the
+staged pipeline.  Chunks are grouped by :func:`~repro.serve.protocol
+.task_group`, so consecutive tasks in one chunk hit the same worker-side
+caches (the decoded state graph, the engine memos) the way a sweep chunk
+does -- that is the micro-batching amortization.
+
+Task failures are *data*, not exceptions: a task that raises comes back as
+a ``("failed", message)`` result so one bad request can never poison the
+rest of its chunk or kill the worker.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..pipeline.config import FlowConfig
+from ..pipeline.jobs import run_synth_job_with_status
+from ..pipeline.store import ArtifactStore
+from ..sweep.runner import evaluate_with_status
+from .protocol import point_from_task
+
+__all__ = ["execute_chunk", "run_task"]
+
+#: Statuses a worker can report for one task.
+_DONE = "done"
+_FAILED = "failed"
+
+
+def run_task(task: Dict[str, object],
+             store: Optional[ArtifactStore]
+             ) -> Tuple[Dict[str, object], Dict[str, str]]:
+    """Evaluate one task; returns ``(result payload, stage status)``.
+
+    ``synth`` tasks run :func:`repro.pipeline.jobs.run_synth_job_with_status`
+    over their ``.g`` text; ``point`` tasks run the sweep's own
+    :func:`repro.sweep.runner.evaluate_with_status`, so a service row is
+    byte-identical to the CLI sweep row for the same point.
+    """
+    kind = task["kind"]
+    if kind == "synth":
+        config = FlowConfig.from_payload(task["config"])
+        return run_synth_job_with_status(config, task["stg"],
+                                         name=task["name"], store=store)
+    if kind == "point":
+        row, status = evaluate_with_status(point_from_task(task), store)
+        return {"row": row}, status
+    raise ValueError(f"unknown task kind {kind!r}")
+
+
+def execute_chunk(store_root: Optional[str],
+                  chunk: List[Tuple[str, Dict[str, object]]]
+                  ) -> List[Tuple[str, str, object, Optional[Dict[str, str]]]]:
+    """Evaluate one chunk of ``(job id, task)`` items in this process.
+
+    Returns ``(job id, status, payload-or-error, stage status)`` per item.
+    The store handle is rebuilt per call (directory-backed stores are
+    cheap and process-safe), so the same function serves the in-process
+    executor and every pool start method, ``spawn`` included.
+    """
+    store = None if store_root is None else ArtifactStore(store_root)
+    results: List[Tuple[str, str, object, Optional[Dict[str, str]]]] = []
+    for job, task in chunk:
+        try:
+            payload, stages = run_task(task, store)
+            results.append((job, _DONE, payload, stages))
+        except Exception as exc:  # noqa: BLE001 - failures travel as data
+            results.append((job, _FAILED,
+                            f"{type(exc).__name__}: {exc}", None))
+    return results

@@ -149,6 +149,7 @@ class StateGraph:
     # construction
     # ------------------------------------------------------------------
     def declare_signal(self, name: str, kind: SignalKind) -> None:
+        """Register a signal; order defines the code bit positions."""
         if name in self.kinds:
             if self.kinds[name] != kind:
                 raise StateGraphError(f"signal {name!r} redeclared with different kind")
@@ -174,6 +175,7 @@ class StateGraph:
         self.events[label] = event
 
     def add_state(self, state: State, code: Optional[Code] = None) -> None:
+        """Add a state (idempotent), optionally with its binary code."""
         if state not in self._succ:
             self._version += 1
             self._succ[state] = {}
@@ -231,6 +233,7 @@ class StateGraph:
     # ------------------------------------------------------------------
     @property
     def states(self) -> List[State]:
+        """Every state, in insertion order."""
         return list(self._succ)
 
     def __len__(self) -> int:
@@ -258,6 +261,7 @@ class StateGraph:
                 yield source, label, target
 
     def arc_count(self) -> int:
+        """Total number of labelled arcs."""
         return sum(len(out) for out in self._succ.values())
 
     def enabled(self, state: State) -> List[str]:
@@ -273,12 +277,15 @@ class StateGraph:
         return list(self.events)
 
     def labels_of_signal(self, signal: str) -> List[str]:
+        """The rise/fall labels of ``signal``, e.g. ``["a+", "a-"]``."""
         return [label for label, event in self.events.items() if event.signal == signal]
 
     def is_input_label(self, label: str) -> bool:
+        """Whether ``label`` is an event of an input signal."""
         return self.kinds[self.events[label].signal] == SignalKind.INPUT
 
     def code_of(self, state: State) -> Code:
+        """The binary code tuple of ``state``."""
         try:
             return self.codes[state]
         except KeyError:
@@ -301,9 +308,11 @@ class StateGraph:
         return cached
 
     def value_of(self, state: State, signal: str) -> int:
+        """The value of ``signal`` in ``state``."""
         return self.code_of(state)[self.signal_index(signal)]
 
     def signal_index(self, signal: str) -> int:
+        """The code bit position of ``signal``."""
         try:
             return self._signal_pos[signal]
         except KeyError:
@@ -481,6 +490,7 @@ class StateGraph:
     # utilities
     # ------------------------------------------------------------------
     def copy(self, name: Optional[str] = None) -> "StateGraph":
+        """A deep copy, optionally renamed."""
         clone = StateGraph(name or self.name)
         clone.signals = list(self.signals)
         clone.kinds = dict(self.kinds)

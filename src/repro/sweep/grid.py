@@ -30,6 +30,11 @@ from ..specs.mmu import TABLE2_KEEP_CONC, keep_conc_for, mmu_expanded
 from ..specs.par import par_expanded
 from ..timing.delays import DelayModel
 
+__all__ = [
+    "TABLE1_DELAY_AXIS", "SweepGrid", "SweepPoint", "canonical_delays",
+    "keep_variants", "make_point", "spec_registry", "tables_grid",
+]
+
 KeepPairs = Tuple[Tuple[str, str], ...]
 
 #: The Table 1 per-kind delays (input, output, internal) in canonical text.
@@ -126,6 +131,7 @@ class SweepPoint:
         }
 
     def delay_model(self) -> DelayModel:
+        """The :class:`DelayModel` of this point's delay axis."""
         input_delay, output_delay, internal_delay = self.delays
         return DelayModel.by_kind(Fraction(input_delay),
                                   Fraction(output_delay),
@@ -144,6 +150,7 @@ class SweepPoint:
             verify_max_states=self.verify_max_states)
 
     def label(self) -> str:
+        """Human-readable point name, e.g. ``lr/best-first/W=0.5``."""
         parts = [self.spec, self.variant or self.strategy]
         if self.weight is not None and not self.variant:
             parts.append(f"W={self.weight:g}")
@@ -200,11 +207,13 @@ class SweepGrid:
         self._points.setdefault(point.key(), point)
 
     def extend(self, points: Iterable[SweepPoint]) -> None:
+        """Add every point (duplicates merged)."""
         for point in points:
             self.add(point)
 
     @property
     def points(self) -> List[SweepPoint]:
+        """The de-duplicated points, in insertion order."""
         return list(self._points.values())
 
     def __len__(self) -> int:

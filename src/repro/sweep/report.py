@@ -13,6 +13,9 @@ import io
 import json
 from typing import Dict, List, Sequence
 
+__all__ = ["COLUMNS", "FORMATS", "render", "to_csv", "to_json",
+           "to_markdown"]
+
 #: Column order of the tabular formats (and the JSON "columns" header).
 COLUMNS = (
     "spec", "variant", "strategy", "weight", "frontier", "keep",
@@ -26,11 +29,13 @@ FORMATS = ("json", "csv", "md")
 
 
 def to_json(rows: Sequence[Dict[str, object]]) -> str:
+    """Rows as a JSON document with a fixed ``columns`` header."""
     payload = {"columns": list(COLUMNS), "rows": list(rows)}
     return json.dumps(payload, indent=2, sort_keys=True) + "\n"
 
 
 def to_csv(rows: Sequence[Dict[str, object]]) -> str:
+    """Rows as CSV in :data:`COLUMNS` order (empty cells for ``None``)."""
     buffer = io.StringIO()
     writer = csv.writer(buffer, lineterminator="\n")
     writer.writerow(COLUMNS)
@@ -51,6 +56,7 @@ def _cell(value) -> str:
 
 
 def to_markdown(rows: Sequence[Dict[str, object]]) -> str:
+    """Rows as an aligned markdown table (``-`` for ``None``)."""
     table: List[List[str]] = [list(COLUMNS)]
     for row in rows:
         table.append([_cell(row.get(column)) for column in COLUMNS])

@@ -22,16 +22,19 @@ import math
 import multiprocessing
 import time
 from dataclasses import dataclass, field
-from fractions import Fraction
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from .. import engine
 from ..pipeline.config import STAGE_ORDER
+from ..pipeline.jobs import summary_row
 from ..pipeline.stages import cached_graph_digest, run_pipeline
 from ..sg.generator import generate_sg
 from ..sg.graph import StateGraph
 from .grid import SweepGrid, SweepPoint, spec_registry
 from .store import ArtifactStore, ResultStore
+
+__all__ = ["SweepOutcome", "evaluate_point", "evaluate_with_status",
+           "make_chunks", "run_sweep"]
 
 #: Worker-side cache: spec name -> generated state graph.  Module-global so
 #: it survives across chunks dispatched to the same worker process (and is
@@ -73,34 +76,22 @@ def _worker_store() -> Optional[ArtifactStore]:
     return _WORKER_STORE
 
 
-def _number(value) -> Optional[float]:
-    return None if value is None else float(value)
-
-
-def _evaluate(point: SweepPoint,
-              store: Optional[ArtifactStore]
-              ) -> Tuple[Dict[str, object], Dict[str, str]]:
+def evaluate_with_status(point: SweepPoint,
+                         store: Optional[ArtifactStore]
+                         ) -> Tuple[Dict[str, object], Dict[str, str]]:
     """Run one design point through the pipeline.
 
     Returns ``(row, stage_status)``.  Rows contain only reproducible
-    quantities (no timings, no cache provenance): everything here must be
-    byte-identical between serial and parallel runs and between cold and
-    warm store reads.  The stage status feeds the outcome's cache
-    accounting only.
+    quantities (no timings, no cache provenance): the point's identity
+    columns plus :func:`repro.pipeline.jobs.summary_row` -- everything here
+    must be byte-identical between serial and parallel runs and between
+    cold and warm store reads.  The stage status feeds the outcome's cache
+    accounting only.  The serving layer evaluates sweep-point tasks through
+    this same function, so service rows can never drift from CLI rows.
     """
     initial_sg = _spec_sg(point.spec)
     result = run_pipeline(point.flow_config(), initial_sg=initial_sg,
                           name=point.label(), store=store)
-    reduce_payload = result.results["reduce"].payload
-    resolve_payload = result.results["resolve"].payload
-    synth_payload = result.results["synthesize"].payload
-    cycle = result.results["timing"].payload["cycle"]
-    verify_result = result.results.get("verify")
-    verification = None if verify_result is None else verify_result.payload
-    stats = reduce_payload["stats"]
-    circuit = synth_payload["circuit"]
-    area = (circuit["area"] if circuit is not None
-            else synth_payload["area_estimate"])
     row = {
         "spec": point.spec,
         "variant": point.variant,
@@ -108,32 +99,15 @@ def _evaluate(point: SweepPoint,
         "weight": point.weight,
         "frontier": point.frontier,
         "keep": ";".join(",".join(pair) for pair in point.keep),
-        "states_max": result.results["generate"].payload["states"],
-        "states": reduce_payload["sg"]["states"],
-        "csc_signals": len(resolve_payload["insertions"]),
-        "csc_resolved": resolve_payload["resolved"],
-        "area": _number(area),
-        "cycle_time": (None if cycle is None
-                       else float(Fraction(cycle["period"]))),
-        "input_events": (None if cycle is None
-                         else len(cycle["input_events"])),
-        "explored": None if stats is None else stats["explored"],
-        "expanded": None if stats is None else stats["expanded"],
-        "levels": None if stats is None else stats["levels"],
-        "capped": None if stats is None else stats["capped"],
-        "verdict": None if verification is None else verification["verdict"],
-        "verify_states": (None if verification is None
-                          else verification["product_states"]),
-        "verify_arcs": (None if verification is None
-                        else verification["product_arcs"]),
-        "verify_max_states": point.verify_max_states,
     }
+    row.update(summary_row(result))
+    row["verify_max_states"] = point.verify_max_states
     return row, result.stage_status()
 
 
 def evaluate_point(point: SweepPoint) -> Dict[str, object]:
     """Run one design point through the flow; returns a deterministic row."""
-    row, _ = _evaluate(point, _worker_store())
+    row, _ = evaluate_with_status(point, _worker_store())
     return row
 
 
@@ -141,13 +115,15 @@ def _run_chunk(chunk: List[Tuple[int, SweepPoint]]
                ) -> List[Tuple[int, Dict[str, object], Dict[str, str]]]:
     """Evaluate one chunk of (grid index, point) work items."""
     store = _worker_store()
-    return [(index, *_evaluate(point, store)) for index, point in chunk]
+    return [(index, *evaluate_with_status(point, store))
+            for index, point in chunk]
 
 
-def make_chunks(items: Sequence[Tuple[int, SweepPoint]],
+def make_chunks(items: Sequence[Tuple[int, object]],
                 jobs: int,
-                chunk_size: Optional[int] = None
-                ) -> List[List[Tuple[int, SweepPoint]]]:
+                chunk_size: Optional[int] = None,
+                group_key: Optional[Callable[[object], str]] = None
+                ) -> List[List[Tuple[int, object]]]:
     """Deterministic spec-coherent partitioning of pending work.
 
     Points of one spec land in contiguous chunks (so a worker's SG and memo
@@ -158,13 +134,20 @@ def make_chunks(items: Sequence[Tuple[int, SweepPoint]],
     when the parent happens to have it cached (store runs compute digests),
     else the group's point count.  Ordering only shapes scheduling -- rows
     are merged by grid index, so it never affects results.
-    """
-    groups: Dict[str, List[Tuple[int, SweepPoint]]] = {}
-    for item in items:
-        groups.setdefault(item[1].spec, []).append(item)
 
-    def weight(group: List[Tuple[int, SweepPoint]]) -> tuple:
-        spec = group[0][1].spec
+    ``group_key`` generalizes the grouping beyond grid points (default: the
+    point's ``spec``); the serving layer batches heterogeneous queued tasks
+    through the same partitioner by keying synthesis tasks on their spec
+    text digest.
+    """
+    if group_key is None:
+        group_key = lambda work: work.spec  # noqa: E731 - default accessor
+    groups: Dict[str, List[Tuple[int, object]]] = {}
+    for item in items:
+        groups.setdefault(group_key(item[1]), []).append(item)
+
+    def weight(group: List[Tuple[int, object]]) -> tuple:
+        spec = group_key(group[0][1])
         cached = _SG_CACHE.get(spec)
         return (-(len(cached) if cached is not None else 0),
                 -len(group), spec)
@@ -198,6 +181,7 @@ class SweepOutcome:
 
     @property
     def points_per_second(self) -> float:
+        """Sweep throughput over this run's wall-clock time."""
         return len(self.points) / self.seconds if self.seconds > 0 else 0.0
 
     def stage_summary(self) -> str:

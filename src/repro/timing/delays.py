@@ -36,12 +36,14 @@ class DelayModel:
     def by_kind(input_delay: Number = 2, output_delay: Number = 1,
                 internal_delay: Number = 1,
                 overrides: Optional[Dict[str, Number]] = None) -> "DelayModel":
+        """Build a model from per-kind delays plus per-signal overrides."""
         return DelayModel(
             _to_fraction(input_delay), _to_fraction(output_delay),
             _to_fraction(internal_delay),
             tuple(sorted((s, _to_fraction(d)) for s, d in (overrides or {}).items())))
 
     def delay_of(self, sg: StateGraph, label: str) -> Fraction:
+        """The delay of event ``label`` in ``sg`` (overrides win)."""
         signal = sg.events[label].signal
         for name, delay in self.overrides:
             if name == signal:

@@ -75,6 +75,7 @@ class VerificationReport:
 
     @property
     def skipped(self) -> bool:
+        """True when there was nothing to verify (no circuit)."""
         return self.verdict == "skipped"
 
     def to_dict(self) -> Dict[str, object]:
@@ -99,6 +100,7 @@ class VerificationReport:
 
     @staticmethod
     def from_dict(payload: Dict[str, object]) -> "VerificationReport":
+        """Rebuild a report from its canonical payload."""
         fields = {key: payload[key] for key in (
             "name", "model", "verdict", "conforming", "hazard_free",
             "deadlock_free", "semi_modular", "spec_states", "spec_arcs",
@@ -107,6 +109,7 @@ class VerificationReport:
         return VerificationReport(**fields)
 
     def to_json(self) -> str:
+        """The canonical payload as deterministic JSON text."""
         import json
         return json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
 

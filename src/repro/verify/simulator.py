@@ -206,9 +206,11 @@ class CompiledCircuit:
 
     # -- values ---------------------------------------------------------
     def value(self, values: int, net: int) -> int:
+        """Bit ``net`` of the packed value vector."""
         return (values >> net) & 1
 
     def set_net(self, values: int, net: int, value: int) -> int:
+        """The vector with bit ``net`` forced to ``value``."""
         if value:
             return values | (1 << net)
         return values & ~(1 << net)

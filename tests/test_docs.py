@@ -1,0 +1,72 @@
+"""The docs/ tree stays real: generated files in sync, links unbroken.
+
+``docs/cli.md`` is generated from the live argparse tree
+(``python -m repro.cli --dump-docs``); this test regenerates it and
+compares bytes, so a CLI change without a docs regeneration fails CI.
+The link checks keep the README/docs cross-references and the example
+catalogue from rotting.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.cli import dump_docs
+
+REPO = Path(__file__).resolve().parent.parent
+DOCS = REPO / "docs"
+
+
+def test_cli_docs_in_sync():
+    committed = (DOCS / "cli.md").read_text(encoding="utf-8")
+    generated = dump_docs()
+    assert committed == generated, (
+        "docs/cli.md is out of date; regenerate with\n"
+        "    PYTHONPATH=src python -m repro.cli --dump-docs > docs/cli.md")
+
+
+def test_cli_docs_cover_every_command():
+    text = (DOCS / "cli.md").read_text(encoding="utf-8")
+    for command in ("check", "sg", "synth", "reduce", "verify", "sweep",
+                    "serve", "cache"):
+        assert f"## `repro {command}`" in text, f"{command} missing"
+
+
+@pytest.mark.parametrize("name", ["architecture.md", "formats.md", "cli.md"])
+def test_docs_exist_and_have_titles(name):
+    text = (DOCS / name).read_text(encoding="utf-8")
+    assert text.startswith("# "), f"{name} lacks a top-level title"
+
+
+def _markdown_links(text):
+    # [label](target) -- ignore http(s) and in-page anchors.
+    for target in re.findall(r"\]\(([^)#]+)\)", text):
+        if not target.startswith(("http://", "https://")):
+            yield target
+
+
+@pytest.mark.parametrize("path", ["README.md", "docs/architecture.md",
+                                  "docs/formats.md"])
+def test_relative_links_resolve(path):
+    source = REPO / path
+    broken = [target for target in _markdown_links(
+        source.read_text(encoding="utf-8"))
+        if not (source.parent / target).exists()]
+    assert not broken, f"{path} has broken links: {broken}"
+
+
+def test_readme_links_docs_and_changes():
+    text = (REPO / "README.md").read_text(encoding="utf-8")
+    for target in ("docs/architecture.md", "docs/formats.md", "docs/cli.md",
+                   "CHANGES.md"):
+        assert target in text, f"README does not link {target}"
+
+
+def test_every_example_referenced_from_docs():
+    corpus = "".join(
+        (REPO / name).read_text(encoding="utf-8")
+        for name in ("README.md", "docs/architecture.md"))
+    for example in sorted((REPO / "examples").glob("*.py")):
+        assert example.name in corpus, \
+            f"examples/{example.name} is not referenced from the docs"

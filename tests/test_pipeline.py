@@ -334,3 +334,37 @@ class TestSweepStageAccounting:
         warm = capsys.readouterr().out
         assert cold == warm
         assert "lo = ri" in warm
+
+
+class TestEntryByDigest:
+    """Content lookup (the ``GET /artifacts/<digest>`` substrate)."""
+
+    def test_lookup_and_miss(self, tmp_path):
+        from repro.pipeline.store import ArtifactStore
+
+        store = ArtifactStore(tmp_path / "store")
+        entry = store.put_entry("k" * 64, "generate", {"states": 3})
+        found = store.entry_by_digest(entry["digest"])
+        assert found is not None and found["payload"] == {"states": 3}
+        assert store.entry_by_digest("0" * 64) is None
+
+    def test_fresh_handle_scans_directory(self, tmp_path):
+        from repro.pipeline.store import ArtifactStore
+
+        writer = ArtifactStore(tmp_path / "store")
+        entry = writer.put_entry("k" * 64, "timing", {"cycle": None})
+        reader = ArtifactStore(tmp_path / "store")  # no in-memory index yet
+        assert reader.entry_by_digest(entry["digest"]) is not None
+
+    def test_stale_index_recovers_after_external_gc(self, tmp_path):
+        from repro.pipeline.store import ArtifactStore
+
+        store = ArtifactStore(tmp_path / "store")
+        # The same payload digest under two different stage keys.
+        first = store.put_entry("a" * 64, "generate", {"states": 5})
+        store.put_entry("b" * 64, "generate", {"states": 5})
+        assert store.entry_by_digest(first["digest"]) is not None
+        # External deletion of the indexed key (last writer wins: "b"*64).
+        (store.root / ("b" * 64 + ".json")).unlink()
+        found = store.entry_by_digest(first["digest"])
+        assert found is not None, "surviving duplicate key must be found"
