@@ -1,54 +1,12 @@
-"""E9 / ablation: the exploration knobs of Fig. 9.
+"""Ablation: the exploration knobs on the LR-process search.
 
-The paper exposes two designer-facing knobs: the frontier width of the
-exploration and the weight ``W`` trading CSC-conflict pressure against
-estimated logic complexity.  This bench sweeps both on the LR-process and
-cross-checks the claims the algorithm's design rests on:
-
-* wider exploration never yields a worse best-cost;
-* the best-first strategy dominates a narrow level-beam on the deceptive
-  reshuffling landscape;
-* ``W -> 0`` drives the search to conflict-free solutions.
+Thin shim over the registered case -- the workload, metrics and checks
+live in :mod:`repro.bench.cases.tables` (``ablation_search``).  Run the
+whole registry with ``python -m repro bench``.
 """
 
-from conftest import print_table
-from repro import generate_sg, reduce_concurrency
-from repro.sg.properties import csc_conflicts
-from repro.specs.lr import lr_expanded
-
-
-def sweep():
-    sg = generate_sg(lr_expanded())
-    results = {}
-    for width in (1, 2, 4, 8):
-        results[f"beam w={width}"] = reduce_concurrency(
-            sg, strategy="beam", size_frontier=width)
-    results["best-first"] = reduce_concurrency(sg)
-    for weight in (0.0, 0.5, 1.0):
-        results[f"W={weight}"] = reduce_concurrency(sg, weight=weight)
-    return sg, results
+from repro.bench import pytest_case
 
 
 def test_ablation(benchmark):
-    sg, results = benchmark.pedantic(sweep, rounds=1, iterations=1)
-
-    rows = [(name, f"{r.best_cost:.2f}", r.explored_count,
-             len(csc_conflicts(r.best)))
-            for name, r in results.items()]
-    print_table("Ablation: exploration knobs (LR-process)",
-                ("configuration", "best cost", "explored", "CSC conflicts"),
-                rows)
-
-    # Monotonicity in beam width (costs are comparable: same W).
-    beams = [results[f"beam w={w}"].best_cost for w in (1, 2, 4, 8)]
-    assert all(a >= b - 1e-9 for a, b in zip(beams, beams[1:]))
-
-    # Best-first at least matches the widest beam tried.
-    assert results["best-first"].best_cost <= beams[-1] + 1e-9
-
-    # W = 0: pure CSC pressure finds a conflict-free design.
-    assert len(csc_conflicts(results["W=0.0"].best)) == 0
-
-    # Every strategy improves on the unreduced expansion.
-    for name, result in results.items():
-        assert result.best_cost <= result.initial_cost, name
+    pytest_case("ablation_search", benchmark)

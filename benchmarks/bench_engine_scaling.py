@@ -1,204 +1,13 @@
-"""Engine scaling: throughput of the packed-bitvector state-graph engine.
+"""Engine scaling: packed-bitvector state-engine throughput.
 
-Measures the hot paths the exploration loop lives in -- SG generation
-(states/sec) and concurrency-reduction search (explored configurations/sec)
--- on the lr/mmu/par suites, plus the full ablation-search sweep of
-``bench_ablation_search.py``, and writes a JSON trajectory report to
-``benchmarks/engine_scaling_report.json`` so subsequent PRs can track the
-curve.
-
-Three claims are checked, not just measured:
-
-* **Cache soundness** -- the engine's memo tables (fast-cover memo, cost
-  terms, reduction results) are pure caches: the complete synthesis output
-  (chosen covers, inserted CSC signals, mapped netlists) is byte-identical
-  with the engine enabled and disabled.
-* **Determinism** -- two consecutive runs of the table-1-style workload
-  produce byte-identical fingerprints.
-* **Speedup** -- the ablation-search sweep runs at least 3x faster than the
-  seed revision (``benchmarks/baseline_seed.json``, captured on the same
-  machine class before the engine work).
+Thin shim over the registered case -- the workload, metrics and checks
+live in :mod:`repro.bench.cases.engine` (``engine_scaling``).  The
+versioned ``BENCH_<rev>.json`` written by ``python -m repro bench``
+supersedes the old ``engine_scaling_report.json`` artifact.
 """
 
-import json
-import time
-from pathlib import Path
-
-from conftest import print_table
-from repro import engine, full_reduction, generate_sg, implement, reduce_concurrency
-from repro.specs.lr import TABLE1_KEEP_CONC, lr_expanded
-from repro.specs.mmu import mmu_expanded
-from repro.specs.par import par_expanded
-
-HERE = Path(__file__).resolve().parent
-BASELINE_PATH = HERE / "baseline_seed.json"
-REPORT_PATH = HERE / "engine_scaling_report.json"
-
-SUITES = (("lr", lr_expanded), ("mmu", mmu_expanded), ("par", par_expanded))
-
-
-def _best_of(fn, rounds=3):
-    best_time, result = None, None
-    for _ in range(rounds):
-        engine.clear_caches()
-        start = time.perf_counter()
-        result = fn()
-        elapsed = time.perf_counter() - start
-        if best_time is None or elapsed < best_time:
-            best_time = elapsed
-    return best_time, result
-
-
-def ablation_sweep():
-    """The exact workload of ``bench_ablation_search.sweep``."""
-    sg = generate_sg(lr_expanded())
-    results = {}
-    for width in (1, 2, 4, 8):
-        results[f"beam w={width}"] = reduce_concurrency(
-            sg, strategy="beam", size_frontier=width)
-    results["best-first"] = reduce_concurrency(sg)
-    for weight in (0.0, 0.5, 1.0):
-        results[f"W={weight}"] = reduce_concurrency(sg, weight=weight)
-    return results
-
-
-def _report_fingerprint(name, report):
-    lines = [f"design {name}",
-             f"csc_resolved {report.csc_resolved}",
-             f"csc_signals {report.csc_signal_count}"]
-    for choice in report.insertions:
-        lines.append(f"insertion {choice.signal} {choice.style} "
-                     f"rise_after={choice.rise_trigger} "
-                     f"fall_after={choice.fall_trigger} "
-                     f"init={choice.initial_value}")
-    if report.circuit is not None:
-        for signal, impl in report.circuit.signals.items():
-            covers = " ".join(
-                f"{kind}=[{cover}]"
-                for kind, cover in (("cover", impl.cover),
-                                    ("set", impl.set_cover),
-                                    ("reset", impl.reset_cover))
-                if cover is not None)
-            lines.append(f"signal {signal} style={impl.style} "
-                         f"eq={impl.equation} {covers}")
-        lines.append(report.circuit.netlist.to_verilog_like())
-    return "\n".join(lines)
-
-
-def synthesis_fingerprint():
-    """Canonical dump of the synthesis outputs over the three suites.
-
-    Covers the full table-1 configuration set for LR (full reduction, max
-    concurrency and each kept pair) plus the best-first reductions of the
-    MMU and PAR controllers: chosen covers, inserted state signals and the
-    mapped netlists.
-    """
-    parts = []
-    lr_sg = generate_sg(lr_expanded())
-    parts.append(_report_fingerprint(
-        "lr/full", implement(full_reduction(lr_sg), name="lr/full")))
-    parts.append(_report_fingerprint(
-        "lr/max", implement(lr_sg, name="lr/max")))
-    for pair_name, keep in TABLE1_KEEP_CONC.items():
-        reduced = full_reduction(lr_sg, keep_conc=keep)
-        parts.append(_report_fingerprint(
-            f"lr/{pair_name}", implement(reduced, name=pair_name)))
-    for name, spec in (("mmu", mmu_expanded), ("par", par_expanded)):
-        sg = generate_sg(spec())
-        best = reduce_concurrency(sg).best
-        parts.append(_report_fingerprint(name, implement(best, name=name)))
-    return "\n".join(parts)
-
-
-def build_report():
-    suites = []
-    for name, spec in SUITES:
-        stg = spec()
-        generate_seconds, sg = _best_of(lambda: generate_sg(stg))
-        explore_seconds, result = _best_of(lambda: reduce_concurrency(sg))
-        engine.set_packed_memo(False)
-        explore_seconds_off, result_off = _best_of(lambda: reduce_concurrency(sg))
-        engine.set_packed_memo(True)
-        assert result_off.best_cost == result.best_cost, name
-        assert result_off.best.signature() == result.best.signature(), name
-        suites.append({
-            "suite": name,
-            "states": len(sg),
-            "arcs": sg.arc_count(),
-            "generate_seconds": generate_seconds,
-            "states_per_second": len(sg) / generate_seconds,
-            "explore_seconds": explore_seconds,
-            "explore_seconds_caches_off": explore_seconds_off,
-            "explored": result.explored_count,
-            "explored_per_second": result.explored_count / explore_seconds,
-            "best_cost": result.best_cost,
-        })
-
-    sweep_seconds, _ = _best_of(ablation_sweep)
-    engine.set_packed_memo(False)
-    sweep_seconds_off, _ = _best_of(ablation_sweep)
-    fingerprint_off = synthesis_fingerprint()
-    engine.set_packed_memo(True)
-    fingerprint_on = synthesis_fingerprint()
-    fingerprint_repeat = synthesis_fingerprint()
-
-    report = {
-        "suites": suites,
-        "ablation_sweep_seconds": sweep_seconds,
-        "ablation_sweep_seconds_caches_off": sweep_seconds_off,
-        "outputs_identical_caches_on_off": fingerprint_on == fingerprint_off,
-        "deterministic_repeat": fingerprint_on == fingerprint_repeat,
-        "total_explore_seconds": sum(s["explore_seconds"] for s in suites),
-    }
-
-    if BASELINE_PATH.exists():
-        baseline = json.loads(BASELINE_PATH.read_text())
-        report["baseline"] = baseline
-        report["speedup_vs_seed"] = {
-            "ablation_sweep": (baseline["ablation_sweep_seconds"]
-                               / sweep_seconds),
-            "total_explore_wall": (baseline["total_explore_seconds"]
-                                   / report["total_explore_seconds"]),
-            "explored_per_second": {},
-        }
-        seed_suites = {s["suite"]: s for s in baseline["suites"]}
-        for suite in suites:
-            seed = seed_suites.get(suite["suite"])
-            if seed is None:
-                continue
-            seed_rate = seed["explored"] / seed["explore_seconds"]
-            report["speedup_vs_seed"]["explored_per_second"][suite["suite"]] = (
-                suite["explored_per_second"] / seed_rate)
-
-    REPORT_PATH.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
-    return report
+from repro.bench import pytest_case
 
 
 def test_engine_scaling(benchmark):
-    report = benchmark.pedantic(build_report, rounds=1, iterations=1)
-
-    rows = [(s["suite"], s["states"],
-             f"{s['states_per_second']:,.0f}",
-             f"{s['explore_seconds'] * 1e3:.1f}",
-             f"{s['explored_per_second']:,.0f}")
-            for s in report["suites"]]
-    print_table("Engine scaling (packed-bitvector state engine)",
-                ("suite", "states", "gen states/s", "explore ms",
-                 "explored cfg/s"), rows)
-    speedups = report.get("speedup_vs_seed", {})
-    print(f"ablation sweep: {report['ablation_sweep_seconds'] * 1e3:.1f} ms "
-          f"(caches off: {report['ablation_sweep_seconds_caches_off'] * 1e3:.1f} ms, "
-          f"vs seed: {speedups.get('ablation_sweep', float('nan')):.1f}x)")
-
-    # The memo tables must be pure caches and the flow must be repeatable.
-    assert report["outputs_identical_caches_on_off"]
-    assert report["deterministic_repeat"]
-
-    # The headline: >= 3x on the ablation-search workload vs the seed.
-    if "speedup_vs_seed" in report:
-        assert report["speedup_vs_seed"]["ablation_sweep"] >= 3.0
-
-
-if __name__ == "__main__":
-    out = build_report()
-    print(json.dumps(out, indent=2, sort_keys=True))
+    pytest_case("engine_scaling", benchmark)

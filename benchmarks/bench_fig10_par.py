@@ -1,67 +1,12 @@
-"""E7 / Fig. 10 + first case study: the PAR component.
+"""Fig. 10: the PAR component, automatic synthesis vs the Tangram target.
 
-Regenerates the paper's PAR pipeline: automatic 4-phase expansion
-(Fig. 10.b), concurrency reduction preserving b? || c? (Fig. 10.d/e), and
-the comparison against the manual Tangram design (Fig. 10.c/f):
-
-* the automatic circuit is *smaller* than the manual one (paper: ~12%);
-* it is asymmetric (one sub-channel's request is served combinationally);
-* under the gate-level delay model (comb=1, seq=1.5, input=3) its cycle is
-  *longer* when b and c have balanced delays (paper: ~11%).
+Thin shim over the registered case -- the workload, metrics and checks
+live in :mod:`repro.bench.cases.figures` (``fig10_par``).  Run the whole
+registry with ``python -m repro bench``.
 """
 
-from conftest import print_table
-from repro import generate_sg, implement, implement_stg, reduce_concurrency
-from repro.sg.regions import are_concurrent
-from repro.specs.par import PAR_KEEP_CONC, par_expanded, par_manual_stg
-from repro.timing.critical_cycle import critical_cycle
-from repro.timing.delays import gate_level_delays
-
-
-def gate_cycle(report):
-    sequential = {signal for signal, impl in report.circuit.signals.items()
-                  if impl.netlist.sequential_gates()}
-    model = gate_level_delays(report.resolved_sg, sequential)
-    return critical_cycle(report.resolved_sg, model).cycle_time
-
-
-def build_par():
-    manual = implement_stg(par_manual_stg(), name="manual (Tangram)")
-    sg = generate_sg(par_expanded())
-    search = reduce_concurrency(sg, keep_conc=PAR_KEEP_CONC,
-                                max_explored=4000, patience=10**9)
-    auto = implement(search.best, name="automatic")
-    return sg, search, manual, auto
+from repro.bench import pytest_case
 
 
 def test_fig10_par(benchmark):
-    sg, search, manual, auto = benchmark.pedantic(build_par, rounds=1,
-                                                  iterations=1)
-
-    # Fig. 10.b: the expansion has maximal reset concurrency.
-    assert len(sg) == 76
-
-    assert manual.csc_resolved and auto.csc_resolved
-    assert auto.csc_signal_count == 0  # no state signals needed (Fig 10.d)
-
-    # The semantic constraint survived the whole reduction.
-    assert are_concurrent(auto.resolved_sg, "bi+", "ci+")
-
-    # Headline: automatic beats manual on area.
-    assert auto.area < manual.area
-
-    # And pays in cycle time under balanced gate-level delays.
-    manual_cycle = gate_cycle(manual)
-    auto_cycle = gate_cycle(auto)
-    assert auto_cycle >= manual_cycle
-
-    rows = [("manual (Fig 10.c/f)", manual.area, manual_cycle),
-            ("automatic (Fig 10.d/e)", auto.area, auto_cycle)]
-    print_table("Fig. 10: PAR component",
-                ("design", "area", "gate-level cycle"), rows)
-    print(f"area ratio auto/manual = {auto.area / manual.area:.2f} "
-          f"(paper ~0.88); cycle ratio = {auto_cycle / manual_cycle:.2f} "
-          f"(paper ~1.11)")
-    print("automatic equations (note the asymmetry between b and c):")
-    for equation in sorted(auto.circuit.equations.values()):
-        print(f"  {equation}")
+    pytest_case("fig10_par", benchmark)

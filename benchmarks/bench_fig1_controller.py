@@ -1,43 +1,12 @@
 """E1 / Fig. 1: the simple memory/processor controller.
 
-Regenerates the paper's introductory artifact: the 5-state SG of Fig. 1.d
-with its consistent encoding, the concurrency of Req+ and Ack- through
-intersecting excitation regions, and the CSC conflict between the two
-states coded 11.
+Thin shim over the registered case -- the workload, metrics and checks
+live in :mod:`repro.bench.cases.figures` (``fig1_controller``).  Run the
+whole registry with ``python -m repro bench``.
 """
 
-from repro import check_implementability, csc_conflicts, generate_sg
-from repro.encoding.csc import irresolvable_conflicts
-from repro.sg.regions import are_concurrent, excitation_region
-from repro.specs.fig1 import fig1_stg
-
-
-def analyse():
-    sg = generate_sg(fig1_stg())
-    return sg, check_implementability(sg)
+from repro.bench import pytest_case
 
 
 def test_fig1_state_graph(benchmark):
-    sg, report = benchmark(analyse)
-    assert len(sg) == 5
-    assert report.consistent
-    assert report.speed_independent
-    assert report.csc_conflict_count == 1
-
-    # Fig. 1.d: codes with excitation stars.
-    codes = sorted(sg.code_string(state) for state in sg.states)
-    assert "1*1" in codes and "11*" in codes
-
-    # Section 2: ER(Req+) and ER(Ack-) intersect => concurrent.
-    assert excitation_region(sg, "Req+") & excitation_region(sg, "Ack-")
-    assert are_concurrent(sg, "Req+", "Ack-")
-
-    conflict = csc_conflicts(sg)[0]
-    assert conflict.code == (1, 1)
-    # This conflict is separated by input events only: provably beyond
-    # state-signal insertion (the paper uses it to motivate reduction).
-    assert len(irresolvable_conflicts(sg)) == 1
-
-    print("\nFig. 1.d state graph:")
-    for state in sg.states:
-        print(f"  {sg.code_string(state):6s} --{list(sg.enabled(state))}")
+    pytest_case("fig1_controller", benchmark)

@@ -1,53 +1,12 @@
-"""E2 / Fig. 2: handshake expansion of the LR-process.
+"""Fig. 2: LR-process handshake expansion.
 
-Regenerates Fig. 2.d-f: the relabelled functional skeleton, the
-unconstrained maximal-concurrency expansion (Fig. 2.e) and the valid
-expansion under the channel interface constraints (Fig. 2.f), checking the
-constraint [li+, lo+, li-, lo-] the paper spells out.
+Thin shim over the registered case -- the workload, metrics and checks
+live in :mod:`repro.bench.cases.figures` (``fig2_lr_expansion``).  Run
+the whole registry with ``python -m repro bench``.
 """
 
-from repro import generate_sg
-from repro.hse.expansion import expand_four_phase
-from repro.hse.spec import ChannelRole
-from repro.sg.properties import check_implementability
-from repro.sg.regions import are_concurrent
-from repro.specs.lr import lr_spec
-
-
-def expand_both():
-    constrained = generate_sg(expand_four_phase(lr_spec()))
-    free_spec = lr_spec()
-    free_spec.channels["l"] = ChannelRole.FREE
-    free_spec.channels["r"] = ChannelRole.FREE
-    free = generate_sg(expand_four_phase(free_spec))
-    return constrained, free
+from repro.bench import pytest_case
 
 
 def test_fig2_expansion(benchmark):
-    constrained, free = benchmark(expand_both)
-
-    # Fig. 2.f: 16 states, speed independent, consistent.
-    assert len(constrained) == 16
-    report = check_implementability(constrained)
-    assert report.consistent and report.speed_independent
-
-    # The functional skeleton is intact: li+ -> ro+ -> ri+ -> lo+.
-    assert not are_concurrent(constrained, "li+", "ro+")
-    assert not are_concurrent(constrained, "ro+", "ri+")
-
-    # Interface constraint of the passive port: the request is never reset
-    # before the acknowledgment (li- after lo+, lo- after li-).
-    assert not are_concurrent(constrained, "li-", "lo+")
-    assert not are_concurrent(constrained, "lo-", "li-")
-
-    # Maximal concurrency of the resets across channels survives.
-    assert are_concurrent(constrained, "li-", "ri-")
-    assert are_concurrent(constrained, "lo-", "ro-")
-
-    # Fig. 2.e (no interface constraints) admits strictly more behaviour,
-    # including the protocol-violating li- before lo+.
-    assert len(free) > len(constrained)
-    assert are_concurrent(free, "li-", "lo+")
-
-    print(f"\nFig. 2.f expansion: {len(constrained)} states; "
-          f"Fig. 2.e (unconstrained): {len(free)} states")
+    pytest_case("fig2_lr_expansion", benchmark)

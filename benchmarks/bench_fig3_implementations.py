@@ -1,50 +1,12 @@
-"""E4 / Fig. 3: the LR-process implementations as circuits.
+"""Fig. 3: the three LR-process implementations.
 
-Regenerates the structures behind Fig. 3: the fully reduced design is the
-two-wire circuit of Fig. 3.b; the CSC-resolved designs (Fig. 3.c/d) carry
-an internal state signal feeding the output logic; the Q-module reshuffling
-synthesizes around a sequential (C-element / SR) cell.
+Thin shim over the registered case -- the workload, metrics and checks
+live in :mod:`repro.bench.cases.figures` (``fig3_implementations``).
+Run the whole registry with ``python -m repro bench``.
 """
 
-from conftest import print_table
-from repro import full_reduction, generate_sg, implement, implement_stg
-from repro.specs.lr import lr_expanded, q_module_stg
-
-
-def build_circuits():
-    sg = generate_sg(lr_expanded())
-    return {
-        "full (Fig 3.b)": implement(full_reduction(sg), name="full"),
-        "max conc (Fig 3.c/d)": implement(sg, name="max"),
-        "Q-module (Fig 3.a)": implement_stg(q_module_stg(), name="q"),
-    }
+from repro.bench import pytest_case
 
 
 def test_fig3_circuits(benchmark):
-    circuits = benchmark.pedantic(build_circuits, rounds=1, iterations=1)
-
-    rows = []
-    for name, report in circuits.items():
-        for signal, equation in sorted(report.circuit.equations.items()):
-            rows.append((name, report.circuit.style_of(signal), equation))
-    print_table("Fig. 3: LR implementations",
-                ("design", "style", "equation"), rows)
-
-    # Fig. 3.b: two plain wires.
-    full = circuits["full (Fig 3.b)"].circuit
-    assert full.equations == {"lo": "lo = ri", "ro": "ro = li"}
-    assert full.area == 0
-
-    # Fig. 3.c/d: state signals in the support of the outputs.
-    max_conc = circuits["max conc (Fig 3.c/d)"]
-    assert max_conc.csc_signal_count == 2
-    internal = {"csc0", "csc1"}
-    mentioned = " ".join(max_conc.circuit.equations.values())
-    assert any(signal in mentioned for signal in internal)
-
-    # Fig. 3.a: the hand reshuffling needs one state signal and at least one
-    # sequential cell in its mapped netlist.
-    q_module = circuits["Q-module (Fig 3.a)"]
-    assert q_module.csc_signal_count == 1
-    assert q_module.circuit.netlist.sequential_gates() or \
-        q_module.circuit.area > 0
+    pytest_case("fig3_implementations", benchmark)

@@ -1,51 +1,12 @@
-"""E5 / Fig. 6: 2-phase and 4-phase refinement of a mixed specification.
+"""Fig. 6: 2-phase and 4-phase refinements of the toggle specification.
 
-The Fig. 6.a specification has one channel (used in both roles), one
-partially specified signal (two pulses per cycle) and one completely
-specified signal.  The bench regenerates both refinements and checks the
-structural properties Fig. 6.b/c show: toggle events in the 2-phase
-refinement, inserted return-to-zero transitions in the 4-phase one, and a
-consistent, speed-independent state graph in both cases.
+Thin shim over the registered case -- the workload, metrics and checks
+live in :mod:`repro.bench.cases.figures` (``fig6_refinement``).  Run the
+whole registry with ``python -m repro bench``.
 """
 
-from repro import generate_sg
-from repro.hse.expansion import expand_four_phase, expand_two_phase
-from repro.sg.properties import check_implementability
-from repro.specs.fragments import fig6_spec
-
-
-def refine_both():
-    spec = fig6_spec()
-    two = generate_sg(expand_two_phase(spec))
-    four = generate_sg(expand_four_phase(fig6_spec()))
-    return two, four
+from repro.bench import pytest_case
 
 
 def test_fig6_refinements(benchmark):
-    two, four = benchmark(refine_both)
-
-    # Fig. 6.b: 2-phase toggles, one per abstract event occurrence.
-    assert {"ai~", "ao~", "b~", "b~/1", "c+", "c-"} <= set(two.events)
-    report2 = check_implementability(two)
-    assert report2.consistent
-    assert report2.deadlock_free
-
-    # Fig. 6.c: the 4-phase refinement adds the return-to-zero events.
-    assert {"ai+", "ai-", "ao+", "ao-", "b+", "b+/1", "b-", "c+", "c-"} <= \
-        set(four.events)
-    report4 = check_implementability(four)
-    assert report4.consistent
-    assert report4.speed_independent
-    assert report4.deadlock_free
-
-    # The reset events are maximally concurrent: the 4-phase SG is larger
-    # than the strictly sequential skeleton (6 functional events).
-    assert len(four) > 6
-
-    # b fires twice per cycle through one shared b- (Fig. 5.a/b structure).
-    b_plus_arcs = sum(1 for _, label, _ in four.arcs()
-                      if label in ("b+", "b+/1"))
-    b_minus_arcs = sum(1 for _, label, _ in four.arcs() if label == "b-")
-    assert b_plus_arcs >= 2 and b_minus_arcs >= 2
-
-    print(f"\n2-phase SG: {len(two)} states; 4-phase SG: {len(four)} states")
+    pytest_case("fig6_refinement", benchmark)

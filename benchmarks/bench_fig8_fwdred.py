@@ -1,51 +1,12 @@
-"""E6 / Fig. 8: the forward-reduction worked example.
+"""Fig. 8: the forward reduction FwdRed(a, b).
 
-Applies FwdRed(a, b) to the paper's SG fragment with choice and concurrency
-and checks the exact outcome spelled out in Section 6: the excitation
-region of ``a`` is truncated by the backward sweep from ER(a) /\ ER(b),
-states reachable only through removed arcs disappear, and -- the paper's
-punchline -- reducing the pair (a, b) also removes the concurrency of ``a``
-with ``d`` and ``e``.
+Thin shim over the registered case -- the workload, metrics and checks
+live in :mod:`repro.bench.cases.figures` (``fig8_fwdred``).  Run the
+whole registry with ``python -m repro bench``.
 """
 
-from repro.reduction.fwdred import forward_reduction
-from repro.reduction.validity import check_validity
-from repro.sg.regions import are_concurrent, excitation_region
-from repro.specs.fragments import fig8_sg
-
-
-def apply_fwdred():
-    sg = fig8_sg()
-    result = forward_reduction(sg, "a", "b")
-    return sg, result
+from repro.bench import pytest_case
 
 
 def test_fig8_forward_reduction(benchmark):
-    sg, result = benchmark(apply_fwdred)
-    assert result.valid
-    reduced = result.sg
-
-    # ER(a) = {s1, s3, s5, s7}; ER(b) = {s5, s6}; intersection = {s5};
-    # backward reachability inside ER(a) sweeps s3 and s1.
-    assert excitation_region(sg, "a") == {"s1", "s3", "s5", "s7"}
-    assert excitation_region(reduced, "a") == {"s7"}
-    assert result.removed_arcs == 3
-
-    # States s2, s4, s6 die with their only incoming arcs.
-    assert result.removed_states == 3
-    assert {"s2", "s4", "s6"}.isdisjoint(set(reduced.states))
-
-    # One operation removed three concurrency relations (the paper's note
-    # that "reducing concurrency for a pair can also reduce it for others").
-    for other in ("b", "d", "e"):
-        assert are_concurrent(sg, "a", other)
-        assert not are_concurrent(reduced, "a", other)
-
-    # The choice branch (g) survives untouched.
-    assert reduced.target("s1", "g") == "t1"
-
-    # Definition 5.1 holds.
-    assert check_validity(sg, reduced).valid
-
-    print(f"\nFwdRed(a, b): {len(sg)} -> {len(reduced)} states, "
-          f"ER(a): 4 -> 1 states, a ordered after b")
+    pytest_case("fig8_fwdred", benchmark)

@@ -1,154 +1,13 @@
 """Pipeline resume: cold vs warm wall time and per-stage hit rates.
 
-The staged pipeline keys every Fig. 4 stage by ``(stage, config slice,
-input content digests)`` in one content-addressed store, so a warm re-run
-skips exactly the stages whose inputs changed.  This benchmark drives the
-full spec suite (every registered spec except the MMU controller, whose
-unreduced CSC search alone dwarfs the rest of the grid combined -- see
-``bench_sweep.py`` for the same exclusion) through four phases and writes
-``benchmarks/pipeline_report.json``:
-
-* **cold**   -- serial sweep against an empty store: every stage computes;
-* **warm**   -- the same sweep again: zero points and zero stages compute;
-* **delays** -- the same grid under a *different delay model* on the warm
-  store: every row recomputes, but only the ``timing`` stage runs -- SG
-  generation, reduction, CSC resolution and synthesis are all served from
-  the store (the verification certificates too, being content-keyed);
-* **jobs**   -- a cold ``jobs=2`` run against a fresh store.
-
-Four claims are checked, not just measured:
-
-* **Determinism** -- cold, warm and ``jobs=2`` rows render byte-identically
-  in every report format.
-* **Store soundness** -- the warm run computes zero points and zero stages.
-* **Stage-granular resume** -- the delays run computes *only* timing
-  stages and reuses the reduction stage (and everything between it and
-  synthesis) for every point.
-* **Cross-point sharing** -- content-addressed keys dedup stages across
-  design points even in the cold run (computed stage evaluations < grid
-  points x stages).
+Thin shim over the registered case -- the workload, metrics and checks
+live in :mod:`repro.bench.cases.pipelines` (``pipeline_resume``).  The
+versioned ``BENCH_<rev>.json`` written by ``python -m repro bench``
+supersedes the old ``pipeline_report.json`` artifact.
 """
 
-import json
-import tempfile
-import time
-from pathlib import Path
-
-from repro import engine
-from repro.sweep import ResultStore, render, run_sweep, spec_registry, tables_grid
-
-HERE = Path(__file__).resolve().parent
-REPORT_PATH = HERE / "pipeline_report.json"
-
-STRATEGIES = ("none", "beam", "best-first", "full")
-#: See the module docstring: one 40+ second CSC search would benchmark
-#: state-signal insertion, not pipeline resume.
-EXCLUDED_SPECS = ("mmu",)
-
-#: The delays phase swaps the Table 1 model (2/1/1) for a slower
-#: internal-signal model; only the timing stage depends on it.
-ALTERNATE_DELAYS = (2, 1, 3)
-
-
-def _specs():
-    return [name for name in spec_registry() if name not in EXCLUDED_SPECS]
-
-
-def _timed(grid, jobs, store):
-    engine.clear_caches()
-    started = time.perf_counter()
-    outcome = run_sweep(grid, jobs=jobs, store=store)
-    return time.perf_counter() - started, outcome
-
-
-def build_report():
-    specs = _specs()
-    grid = tables_grid(specs=specs, strategies=STRATEGIES)
-    delays_grid = tables_grid(specs=specs, strategies=STRATEGIES,
-                              delays=ALTERNATE_DELAYS)
-    points = len(grid.points)
-
-    with tempfile.TemporaryDirectory() as tempdir:
-        serial_store = ResultStore(Path(tempdir) / "serial")
-        jobs_store = ResultStore(Path(tempdir) / "jobs")
-
-        cold_seconds, cold = _timed(grid, 1, serial_store)
-        warm_seconds, warm = _timed(grid, 1, serial_store)
-        delays_seconds, delays = _timed(delays_grid, 1, serial_store)
-        jobs_seconds, jobs = _timed(grid, 2, jobs_store)
-
-    formats = ("json", "csv", "md")
-    identical = all(render(cold.rows, fmt) == render(warm.rows, fmt)
-                    and render(cold.rows, fmt) == render(jobs.rows, fmt)
-                    for fmt in formats)
-
-    stage_slots = points * 5  # generate/reduce/resolve/synthesize/timing
-    report = {
-        "specs": specs,
-        "points": points,
-        "cold_seconds": cold_seconds,
-        "warm_seconds": warm_seconds,
-        "delays_seconds": delays_seconds,
-        "jobs_seconds": jobs_seconds,
-        "speedup_warm_vs_cold": cold_seconds / warm_seconds,
-        "speedup_delays_vs_cold": cold_seconds / delays_seconds,
-        "cold_computed_points": cold.computed,
-        "warm_computed_points": warm.computed,
-        "warm_cached_points": warm.cached,
-        "delays_computed_points": delays.computed,
-        "cold_stage_computed": dict(sorted(cold.stage_computed.items())),
-        "cold_stage_reused": dict(sorted(cold.stage_reused.items())),
-        "delays_stage_computed": dict(sorted(delays.stage_computed.items())),
-        "delays_stage_reused": dict(sorted(delays.stage_reused.items())),
-        "cold_stage_slots": stage_slots,
-        "reports_identical_cold_warm_jobs": identical,
-    }
-    REPORT_PATH.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
-    return report
+from repro.bench import pytest_case
 
 
 def test_pipeline_resume(benchmark):
-    from conftest import print_table
-
-    report = benchmark.pedantic(build_report, rounds=1, iterations=1)
-
-    print_table(
-        "Pipeline resume (suite grid, stage-granular warm store)",
-        ("phase", "seconds", "points computed", "stages computed"),
-        [("cold serial", f"{report['cold_seconds']:.2f}",
-          report["cold_computed_points"],
-          sum(report["cold_stage_computed"].values())),
-         ("warm serial", f"{report['warm_seconds']:.2f}",
-          report["warm_computed_points"], 0),
-         ("delays-only change", f"{report['delays_seconds']:.2f}",
-          report["delays_computed_points"],
-          sum(report["delays_stage_computed"].values()))])
-    print(f"warm speedup {report['speedup_warm_vs_cold']:.1f}x, "
-          f"delays-only rerun {report['speedup_delays_vs_cold']:.1f}x over "
-          f"{report['points']} points")
-
-    # Determinism: serial cold == serial warm == parallel cold, bytewise.
-    assert report["reports_identical_cold_warm_jobs"]
-
-    # Store soundness: a warm rerun computes nothing at all.
-    assert report["warm_computed_points"] == 0
-    assert report["warm_cached_points"] == report["points"]
-
-    # Stage-granular resume: the delay-model change recomputes only the
-    # timing stage; reduction (and everything up to synthesis) is reused
-    # for every single point.
-    assert set(report["delays_stage_computed"]) == {"timing"}
-    for stage in ("generate", "reduce", "resolve", "synthesize"):
-        assert report["delays_stage_reused"][stage] == report["points"]
-
-    # Content-addressed sharing dedups stages across points already in the
-    # cold run (e.g. every no-op reduction shares its resolve artifact).
-    cold_computed = sum(report["cold_stage_computed"].values())
-    assert cold_computed < report["cold_stage_slots"]
-
-    # The delays-only rerun must be meaningfully cheaper than cold.
-    assert report["delays_seconds"] < report["cold_seconds"]
-
-
-if __name__ == "__main__":
-    print(json.dumps(build_report(), indent=2, sort_keys=True))
+    pytest_case("pipeline_resume", benchmark)

@@ -1,204 +1,13 @@
 """Serving throughput and guarantees: cold vs warm, dedup, determinism.
 
-Drives a real server (sockets, HTTP, the worker executor -- nothing
-mocked) through the acceptance properties of the serving layer and
-writes ``benchmarks/serve_report.json``:
-
-* **warm-from-store** -- a fresh server over a warm store answers a
-  repeated request with **zero** pipeline stages computed;
-* **in-flight dedup** -- N identical concurrent requests trigger exactly
-  one computation (N-1 dedup hits), and every client reads the same
-  bytes;
-* **worker-count determinism** -- the ``result`` payloads produced by a
-  ``workers=1`` and a ``workers=4`` server (separate cold stores) are
-  byte-identical, for single synthesis jobs and for whole sweep jobs;
-* **throughput** -- requests/sec over the suite specs, cold (every stage
-  computes) vs warm (history + store hits), and the warm speedup.
-
-The in-process executor (``workers=0``) is used for the single-worker
-phases so the benchmark is honest on 1-CPU CI runners; the
-``workers=4`` phase exercises the real ``ProcessPoolExecutor`` path.
+Thin shim over the registered case -- the workload, metrics and checks
+live in :mod:`repro.bench.cases.serving` (``serve_throughput``).  The
+versioned ``BENCH_<rev>.json`` written by ``python -m repro bench``
+supersedes the old ``serve_report.json`` artifact.
 """
 
-import json
-import tempfile
-import threading
-import time
-import urllib.request
-from pathlib import Path
-
-from repro.serve import BackgroundServer, json_bytes
-
-HERE = Path(__file__).resolve().parent
-REPORT_PATH = HERE / "serve_report.json"
-
-#: Suite specs small enough to keep the benchmark minutes-free; mmu's
-#: unreduced CSC search alone would dwarf every serving effect measured
-#: here (same exclusion as bench_sweep/bench_pipeline).
-SPECS = ("half", "vme_read", "fifo_cell", "lr")
-
-CONCURRENT_CLIENTS = 8
-
-
-def _call(base, path, payload=None, timeout=300):
-    if payload is None:
-        request = urllib.request.Request(base + path)
-    else:
-        request = urllib.request.Request(
-            base + path, data=json.dumps(payload).encode("utf-8"),
-            method="POST")
-    with urllib.request.urlopen(request, timeout=timeout) as response:
-        return json.loads(response.read())
-
-
-def _synth_all(base, specs):
-    """POST every spec (blocking); returns {spec: job view} and seconds."""
-    started = time.perf_counter()
-    views = {spec: _call(base, "/synth", {"spec": spec, "wait": True})
-             for spec in specs}
-    return views, time.perf_counter() - started
-
-
-def _stage_counts(views):
-    computed = reused = 0
-    for view in views.values():
-        for state in view["stages"].values():
-            if state == "cached":
-                reused += 1
-            else:
-                computed += 1
-    return computed, reused
-
-
-def build_report():
-    report = {"specs": list(SPECS), "concurrent_clients": CONCURRENT_CLIENTS}
-
-    with tempfile.TemporaryDirectory() as tempdir:
-        store = str(Path(tempdir) / "store")
-
-        # ---- cold phase: fresh server, empty store -------------------
-        with BackgroundServer(store_root=store, workers=0) as server:
-            base = f"http://127.0.0.1:{server.port}"
-            cold_views, cold_seconds = _synth_all(base, SPECS)
-            computed, reused = _stage_counts(cold_views)
-            report["cold_seconds"] = cold_seconds
-            report["cold_rps"] = len(SPECS) / cold_seconds
-            report["cold_stages_computed"] = computed
-            report["cold_stages_reused"] = reused
-
-            # Same-server repeat: answered from job history.
-            history_views, history_seconds = _synth_all(base, SPECS)
-            report["history_seconds"] = history_seconds
-            report["history_rps"] = len(SPECS) / history_seconds
-            report["history_same_results"] = all(
-                json_bytes(history_views[s]["result"])
-                == json_bytes(cold_views[s]["result"]) for s in SPECS)
-
-            # In-flight dedup: concurrent identical requests, one compute.
-            stats_before = _call(base, "/stats")
-            results = []
-
-            def hit():
-                results.append(_call(base, "/synth",
-                                     {"spec": "micropipeline",
-                                      "wait": True}))
-
-            threads = [threading.Thread(target=hit)
-                       for _ in range(CONCURRENT_CLIENTS)]
-            for thread in threads:
-                thread.start()
-            for thread in threads:
-                thread.join()
-            stats_after = _call(base, "/stats")
-            report["dedup_executions"] = (stats_after["tasks_executed"]
-                                          - stats_before["tasks_executed"])
-            report["dedup_hits"] = (stats_after["dedup_hits"]
-                                    - stats_before["dedup_hits"])
-            report["dedup_distinct_bodies"] = len(
-                {json_bytes(view["result"]) for view in results})
-
-        # ---- warm phase: FRESH server over the now-warm store --------
-        with BackgroundServer(store_root=store, workers=0) as server:
-            base = f"http://127.0.0.1:{server.port}"
-            warm_views, warm_seconds = _synth_all(base, SPECS)
-            computed, reused = _stage_counts(warm_views)
-            report["warm_seconds"] = warm_seconds
-            report["warm_rps"] = len(SPECS) / warm_seconds
-            report["warm_stages_computed"] = computed
-            report["warm_stages_reused"] = reused
-            report["warm_speedup"] = cold_seconds / warm_seconds
-            report["warm_same_results"] = all(
-                json_bytes(warm_views[s]["result"])
-                == json_bytes(cold_views[s]["result"]) for s in SPECS)
-
-        # ---- worker-count determinism: 1 vs 4, separate cold stores --
-        sweep_request = {"specs": ["lr", "half"],
-                         "strategies": ["none", "best-first", "full"],
-                         "wait": True, "timeout": 600}
-        bodies = {}
-        for workers in (1, 4):
-            with BackgroundServer(
-                    store_root=str(Path(tempdir) / f"w{workers}"),
-                    workers=workers) as server:
-                base = f"http://127.0.0.1:{server.port}"
-                synth = {spec: _call(base, "/synth",
-                                     {"spec": spec, "wait": True})
-                         for spec in SPECS}
-                sweep = _call(base, "/sweep", sweep_request)
-                assert sweep["status"] == "done", sweep["error"]
-                bodies[workers] = (
-                    {spec: json_bytes(view["result"])
-                     for spec, view in synth.items()},
-                    json_bytes(sweep["result"]))
-        report["workers_1_vs_4_synth_identical"] = (
-            bodies[1][0] == bodies[4][0])
-        report["workers_1_vs_4_sweep_identical"] = (
-            bodies[1][1] == bodies[4][1])
-
-    REPORT_PATH.write_text(json.dumps(report, indent=2, sort_keys=True)
-                           + "\n")
-    return report
+from repro.bench import pytest_case
 
 
 def test_serve(benchmark):
-    from conftest import print_table
-
-    report = benchmark.pedantic(build_report, rounds=1, iterations=1)
-
-    print_table(
-        "Synthesis service: cold vs warm over the suite specs",
-        ("phase", "seconds", "req/s", "stages computed", "stages reused"),
-        [("cold (empty store)", f"{report['cold_seconds']:.2f}",
-          f"{report['cold_rps']:.1f}", report["cold_stages_computed"],
-          report["cold_stages_reused"]),
-         ("repeat (job history)", f"{report['history_seconds']:.3f}",
-          f"{report['history_rps']:.1f}", 0, 0),
-         ("warm (fresh server)", f"{report['warm_seconds']:.2f}",
-          f"{report['warm_rps']:.1f}", report["warm_stages_computed"],
-          report["warm_stages_reused"])])
-    print(f"warm speedup {report['warm_speedup']:.1f}x; "
-          f"{report['concurrent_clients']} concurrent identical requests -> "
-          f"{report['dedup_executions']} computation(s)")
-
-    # A warm repeated request computes zero pipeline stages.
-    assert report["warm_stages_computed"] == 0
-    assert report["warm_stages_reused"] > 0
-    assert report["warm_same_results"]
-    assert report["history_same_results"]
-
-    # N identical concurrent requests trigger exactly one computation.
-    assert report["dedup_executions"] == 1
-    assert report["dedup_hits"] == report["concurrent_clients"] - 1
-    assert report["dedup_distinct_bodies"] == 1
-
-    # Responses are byte-identical across worker counts.
-    assert report["workers_1_vs_4_synth_identical"]
-    assert report["workers_1_vs_4_sweep_identical"]
-
-    # Serving repeats from history/store must beat cold computation.
-    assert report["history_seconds"] < report["cold_seconds"]
-    assert report["warm_seconds"] < report["cold_seconds"]
-
-
-if __name__ == "__main__":
-    print(json.dumps(build_report(), indent=2, sort_keys=True))
+    pytest_case("serve_throughput", benchmark)

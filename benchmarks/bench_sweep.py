@@ -1,135 +1,15 @@
 """Sweep throughput: design points per second, serial vs sharded.
 
-PR 1 made single-point exploration ~7x faster, so the bottleneck moved from
-depth to breadth: how fast can the Tables 1-2 search grid -- every spec x
-{beam, best-first, full} x W x Keep_Conc -- be evaluated?  The ``none``
-strategy is deliberately not in this grid: implementing the *unreduced* MMU
-controller is one 40+ second CSC-insertion search that dwarfs every other
-point combined, so it would benchmark state-signal insertion on one giant
-graph rather than sweep breadth, and its serial lower bound caps any
-parallel speedup at ~1.5x no matter the worker count.  (It remains a
-perfectly good sweep point -- ``repro sweep`` includes it by default.)
-
-This benchmark runs the search grid over the full spec suite three ways and
-writes a trajectory report to ``benchmarks/sweep_report.json``:
-
-* **parallel cold** -- ``jobs=4`` against an empty result store;
-* **serial cold**   -- ``jobs=1`` against another empty store;
-* **parallel warm** -- ``jobs=4`` against the first store again.
-
-Three claims are checked, not just measured:
-
-* **Determinism** -- the parallel rows are byte-identical to the serial
-  rows in every report format, ordering included.
-* **Store soundness** -- the warm run computes zero points (everything is
-  served from disk) and still renders the identical report.
-* **Throughput** -- with >= 4 CPUs, ``jobs=4`` delivers at least 2.5x the
-  serial points/sec on the cold grid.
-
-The parallel phase runs first so its workers cannot inherit memo tables
-warmed by the serial phase (the pool forks from this process).
+Thin shim over the registered case -- the workload, metrics and checks
+live in :mod:`repro.bench.cases.sweeps` (``sweep_throughput``).  The
+parallel-speedup floor is an explicit *skipped check* (with the reason
+recorded in the report) on machines with fewer than four CPUs -- it no
+longer degrades silently.  The versioned ``BENCH_<rev>.json`` written by
+``python -m repro bench`` supersedes the old ``sweep_report.json``.
 """
 
-import json
-import multiprocessing
-import tempfile
-import time
-from pathlib import Path
-
-from repro import engine
-from repro.sweep import ResultStore, render, run_sweep, tables_grid
-
-HERE = Path(__file__).resolve().parent
-REPORT_PATH = HERE / "sweep_report.json"
-
-PARALLEL_JOBS = 4
-SPEEDUP_FLOOR = 2.5
-
-
-#: Chunks of two points keep the pool's dynamic scheduling fine-grained
-#: enough that one heavy spec (MMU) cannot serialize a worker for long,
-#: while same-spec chunks still share the worker-side SG and memo caches.
-CHUNK_SIZE = 2
-
-
-def _timed_sweep(grid, jobs, store):
-    engine.clear_caches()
-    started = time.perf_counter()
-    outcome = run_sweep(grid, jobs=jobs, store=store, chunk_size=CHUNK_SIZE)
-    return time.perf_counter() - started, outcome
-
-
-def build_report():
-    # Every registered spec, every searched reduction row of Tables 1-2.
-    grid = tables_grid(strategies=("beam", "best-first", "full"))
-    points = len(grid.points)
-
-    with tempfile.TemporaryDirectory() as tempdir:
-        parallel_store = ResultStore(Path(tempdir) / "parallel")
-        serial_store = ResultStore(Path(tempdir) / "serial")
-
-        parallel_seconds, parallel = _timed_sweep(
-            grid, PARALLEL_JOBS, parallel_store)
-        serial_seconds, serial = _timed_sweep(grid, 1, serial_store)
-        warm_seconds, warm = _timed_sweep(grid, PARALLEL_JOBS, parallel_store)
-
-    identical = all(render(serial.rows, fmt) == render(parallel.rows, fmt)
-                    and render(serial.rows, fmt) == render(warm.rows, fmt)
-                    for fmt in ("json", "csv", "md"))
-
-    report = {
-        "points": points,
-        "jobs": PARALLEL_JOBS,
-        "cpu_count": multiprocessing.cpu_count(),
-        "serial_seconds": serial_seconds,
-        "parallel_seconds": parallel_seconds,
-        "warm_seconds": warm_seconds,
-        "points_per_second_serial": points / serial_seconds,
-        "points_per_second_parallel": points / parallel_seconds,
-        "points_per_second_warm": points / warm_seconds,
-        "speedup_parallel_vs_serial": serial_seconds / parallel_seconds,
-        "speedup_warm_vs_cold": parallel_seconds / warm_seconds,
-        "serial_computed": serial.computed,
-        "parallel_computed": parallel.computed,
-        "warm_computed": warm.computed,
-        "warm_cached": warm.cached,
-        "reports_identical_serial_parallel_warm": identical,
-    }
-    REPORT_PATH.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
-    return report
+from repro.bench import pytest_case
 
 
 def test_sweep_throughput(benchmark):
-    from conftest import print_table
-
-    report = benchmark.pedantic(build_report, rounds=1, iterations=1)
-
-    print_table(
-        "Sweep throughput (full Tables 1-2 grid)",
-        ("phase", "seconds", "points/s", "computed"),
-        [("serial cold", f"{report['serial_seconds']:.2f}",
-          f"{report['points_per_second_serial']:.1f}",
-          report["serial_computed"]),
-         (f"jobs={report['jobs']} cold", f"{report['parallel_seconds']:.2f}",
-          f"{report['points_per_second_parallel']:.1f}",
-          report["parallel_computed"]),
-         (f"jobs={report['jobs']} warm", f"{report['warm_seconds']:.2f}",
-          f"{report['points_per_second_warm']:.1f}",
-          report["warm_computed"])])
-    print(f"speedup jobs={report['jobs']} vs serial: "
-          f"{report['speedup_parallel_vs_serial']:.2f}x over "
-          f"{report['points']} points")
-
-    # Sharding must never change results, and the store must do the work
-    # the second time around.
-    assert report["reports_identical_serial_parallel_warm"]
-    assert report["warm_computed"] == 0
-    assert report["warm_cached"] == report["points"]
-
-    # The headline: >= 2.5x points/sec with 4 workers (given the cores).
-    if report["cpu_count"] >= PARALLEL_JOBS:
-        assert report["speedup_parallel_vs_serial"] >= SPEEDUP_FLOOR
-
-
-if __name__ == "__main__":
-    print(json.dumps(build_report(), indent=2, sort_keys=True))
+    pytest_case("sweep_throughput", benchmark)

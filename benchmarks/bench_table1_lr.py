@@ -1,77 +1,12 @@
-"""E3 / Table 1: area/performance trade-off of the LR-process.
+"""Table 1: the LR-process across reduction regimes.
 
-Regenerates every row: Q-module (hand), full reduction, max concurrency
-and the four single-pair-preserving reductions.  Absolute units differ
-from the paper's library; the assertions pin the *shape*:
-
-* full reduction is two wires (area 0, no CSC signals);
-* max concurrency needs 2 CSC signals and is the most expensive;
-* the pair-preserving rows lie strictly between;
-* ``lo || ro`` is the costliest of the four pairs (as in the paper).
+Thin shim over the registered case -- the workload, metrics and checks
+live in :mod:`repro.bench.cases.tables` (``table1_lr``).  Run the whole
+registry with ``python -m repro bench``.
 """
 
-import pytest
-
-from conftest import print_table, report_row
-from repro import full_reduction, generate_sg, implement, implement_stg
-from repro.sg.regions import are_concurrent
-from repro.specs.lr import TABLE1_KEEP_CONC, lr_expanded, q_module_stg
-
-PAPER = {  # area, #CSC, cr.cycle, inp.events from Table 1
-    "Q-module (hand)": (104, 1, 14, 4),
-    "Full reduction": (0, 0, 8, 4),
-    "Max. concurrency": (168, 2, 13, 3),
-    "li || ri": (144, 0, 9, 3),
-    "li || ro": (160, 1, 11, 3),
-    "lo || ri": (136, 1, 11, 3),
-    "lo || ro": (232, 2, 16, 3),
-}
-
-
-def build_table1():
-    sg = generate_sg(lr_expanded())
-    reports = {"Q-module (hand)": implement_stg(q_module_stg(),
-                                                name="Q-module (hand)"),
-               "Full reduction": implement(full_reduction(sg),
-                                           name="Full reduction"),
-               "Max. concurrency": implement(sg, name="Max. concurrency")}
-    for name, keep in TABLE1_KEEP_CONC.items():
-        reduced = full_reduction(sg, keep_conc=keep)
-        reports[name] = implement(reduced, name=name)
-        label_a, label_b = keep[0]
-        assert are_concurrent(reduced, label_a, label_b), name
-    return reports
+from repro.bench import pytest_case
 
 
 def test_table1(benchmark):
-    reports = benchmark.pedantic(build_table1, rounds=1, iterations=1)
-
-    rows = [report_row(r) + (f"paper:{PAPER[n]}",)
-            for n, r in reports.items()]
-    print_table("Table 1: LR-process",
-                ("circuit", "area", "#CSC", "cr.cycle", "inp.events", "ref"),
-                rows)
-
-    area = {name: report.area for name, report in reports.items()}
-    csc = {name: report.csc_signal_count for name, report in reports.items()}
-
-    assert all(report.csc_resolved for report in reports.values())
-
-    # Shape assertions (see module docstring).
-    assert area["Full reduction"] == 0
-    assert csc["Full reduction"] == 0
-    assert csc["Max. concurrency"] == 2
-    assert area["Max. concurrency"] == max(area.values())
-    for pair_row in TABLE1_KEEP_CONC:
-        assert 0 < area[pair_row] < area["Max. concurrency"]
-    assert area["lo || ro"] == max(area[n] for n in TABLE1_KEEP_CONC)
-    assert csc["lo || ro"] >= max(csc[n] for n in TABLE1_KEEP_CONC
-                                  if n != "lo || ro")
-
-    # Performance sanity: every cycle contains all four input events of a
-    # full handshake round and the max-concurrency point is not slower than
-    # the hand design.
-    for report in reports.values():
-        assert report.input_event_count == 4
-    assert reports["Max. concurrency"].cycle_time <= \
-        reports["Q-module (hand)"].cycle_time
+    pytest_case("table1_lr", benchmark)

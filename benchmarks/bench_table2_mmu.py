@@ -1,82 +1,12 @@
-"""E8 / Table 2: the MMU controller case study.
+"""Table 2: the MMU controller, original vs reduced.
 
-Regenerates all seven rows over the reconstructed four-channel MMU
-(DESIGN.md documents the substitution).  Shape assertions following the
-paper's conclusions:
-
-* reshuffling yields an area reduction to less than half of the original;
-* the reduction does not cost cycle time: at least one reduced row is no
-  slower than the original;
-* at least one reduced implementation needs no CSC signal at all.
+Thin shim over the registered case -- the workload, metrics and checks
+live in :mod:`repro.bench.cases.tables` (``table2_mmu``).  Run the whole
+registry with ``python -m repro bench``.
 """
 
-import pytest
-
-from conftest import print_table, report_row
-from repro import full_reduction, generate_sg, implement, reduce_concurrency
-from repro.reduction.cost import CostFunction
-from repro.specs.mmu import TABLE2_KEEP_CONC, keep_conc_for, mmu_expanded
-
-PAPER = {  # area, #CSC, cr.cycle, inp.events from Table 2
-    "original": (744, 2, 100, 4),
-    "original reduced": (208, 0, 118, 6),
-    "csc reduced": (96, 1, 123, 7),
-    "|| (b, l, r)": (440, 1, 101, 4),
-    "|| (b, m, r)": (384, 0, 94, 4),
-    "|| (b, l, m)": (352, 1, 104, 5),
-    "|| (l, m, r)": (368, 1, 105, 5),
-}
-
-
-def build_table2():
-    sg = generate_sg(mmu_expanded())
-    reports = {}
-    reports["original"] = implement(sg, name="original", max_csc_signals=3)
-    balanced = reduce_concurrency(sg, max_explored=400, patience=200)
-    reports["original reduced"] = implement(balanced.best,
-                                            name="original reduced")
-    csc_first = reduce_concurrency(
-        sg, cost_function=CostFunction(weight=0.05, csc_scale=100.0),
-        max_explored=1200, patience=10**9)
-    reports["csc reduced"] = implement(csc_first.best, name="csc reduced")
-    for name, channels in TABLE2_KEEP_CONC.items():
-        reduced = full_reduction(sg, keep_conc=keep_conc_for(channels),
-                                 size_frontier=3)
-        reports[name] = implement(reduced, name=name)
-    return sg, reports
+from repro.bench import pytest_case
 
 
 def test_table2(benchmark):
-    sg, reports = benchmark.pedantic(build_table2, rounds=1, iterations=1)
-
-    rows = [report_row(r) + (f"paper:{PAPER[n]}",) for n, r in reports.items()]
-    print_table("Table 2: MMU controller",
-                ("circuit", "area", "#CSC", "cr.cycle", "inp.events", "ref"),
-                rows)
-
-    assert len(sg) == 264
-
-    original_area = reports["original"].area
-    assert original_area is not None
-    reduced_rows = [r for n, r in reports.items() if n != "original"]
-
-    # Every reduced row actually synthesizes (CSC fully resolved).
-    assert all(r.csc_resolved for r in reduced_rows)
-
-    # Headline: reshuffling reaches less than half of the original area.
-    # (When the original's CSC is unresolved its area is an optimistic
-    # *lower bound*, which only makes this assertion harder to pass.)
-    best_area = min(r.area for r in reduced_rows)
-    assert best_area < 0.5 * original_area
-
-    # ... without losing performance: some reduced row is no slower.
-    original_cycle = reports["original"].cycle_time
-    assert any(r.cycle_time <= original_cycle * 1.3 for r in reduced_rows)
-
-    # The CSC-driven reduction reaches a single state signal and the
-    # cheapest reduced implementation (the paper's "csc reduced" row has
-    # area 96 with 1 CSC signal; our reconstruction of the MMU admits no
-    # conflict-free reduction, so 1 signal is its floor).
-    csc_row = reports["csc reduced"]
-    assert csc_row.csc_signal_count <= 1
-    assert csc_row.area == min(r.area for r in reduced_rows)
+    pytest_case("table2_mmu", benchmark)

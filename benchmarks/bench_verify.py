@@ -1,155 +1,13 @@
-"""Verification throughput: product states per second, full-suite wall time.
+"""Verification throughput: product states per second, full-suite wall.
 
-PR 3 adds the gate-level verification subsystem (``repro.verify``): every
-synthesized implementation is checked against its specification SG by
-exploring the product of the circuit's unbounded-delay state space with the
-SG environment.  This benchmark runs the whole verification surface -- the
-STG suite plus the paper's LR process, every reduction strategy under the
-atomic (complex-gate) model, plus structural-model probes on two telling
-points -- and writes a trajectory report to
-``benchmarks/verify_report.json``:
-
-* **throughput** -- product states and arcs explored per second (atomic
-  model, certificates timed individually);
-* **full-suite wall time** -- one cold ``verify everything`` pass, the
-  number CI's smoke job tracks;
-* **determinism** -- a second pass must produce byte-identical
-  certificates (``VerificationReport.to_dict`` carries no timings).
-
-Three claims are checked, not just measured:
-
-* every design point that synthesizes a circuit verifies **conforming**
-  under the atomic (complex-gate) model;
-* the only skipped point is the unreduced micropipeline (its CSC conflicts
-  are not resolvable by trigger threading);
-* certificates are byte-identical between passes.
+Thin shim over the registered case -- the workload, metrics and checks
+live in :mod:`repro.bench.cases.verifying` (``verify_throughput``).  The
+versioned ``BENCH_<rev>.json`` written by ``python -m repro bench``
+supersedes the old ``verify_report.json`` artifact.
 """
 
-import json
-import time
-from pathlib import Path
-
-from repro.flow import STRATEGIES, run_flow_stg
-from repro.sg.generator import generate_sg
-from repro.specs import suite
-from repro.specs.lr import lr_expanded
-from repro.verify import check_conformance, skipped_report
-
-HERE = Path(__file__).resolve().parent
-REPORT_PATH = HERE / "verify_report.json"
-
-
-def _specs():
-    sources = {name: suite.load(name) for name in suite.suite_names()}
-    sources["lr"] = lr_expanded()
-    return sources
-
-
-def _verify_everything(model="atomic"):
-    """One full verification pass; returns (certificates, wall seconds)."""
-    certificates = {}
-    started = time.perf_counter()
-    for name, stg in sorted(_specs().items()):
-        initial_sg = generate_sg(stg)
-        for strategy in STRATEGIES:
-            label = f"{name}/{strategy}"
-            flow = run_flow_stg(None, strategy=strategy,
-                                initial_sg=initial_sg, name=label)
-            implementation = flow.report
-            if implementation.circuit is None:
-                certificates[label] = skipped_report(
-                    label, "no synthesized circuit", model=model)
-                continue
-            certificates[label] = check_conformance(
-                implementation.circuit.netlist,
-                implementation.resolved_sg, model=model, name=label)
-    return certificates, time.perf_counter() - started
-
-
-def _structural_probes():
-    """The structural model on two telling points.
-
-    vme_read's gates are single-cube, so per-gate delays stay conforming;
-    half's two-cube `ao` cover glitches under them -- the decomposition is
-    not SI-preserving and the verifier proves it with a trace.
-    """
-    results = {}
-    for name, expect_ok in (("vme_read", True), ("half", False)):
-        initial_sg = generate_sg(suite.load(name))
-        flow = run_flow_stg(None, strategy="full", initial_sg=initial_sg,
-                            name=f"{name}/full")
-        cert = check_conformance(flow.report.circuit.netlist,
-                                 flow.report.resolved_sg,
-                                 model="structural", name=f"{name}/full")
-        results[name] = {"verdict": cert.verdict, "expected_ok": expect_ok,
-                         "as_expected": cert.ok == expect_ok,
-                         "trace_length": len(cert.trace)}
-    return results
-
-
-def build_report():
-    first, cold_seconds = _verify_everything()
-    second, _ = _verify_everything()
-    structural = _structural_probes()
-
-    checked = {label: cert for label, cert in first.items()
-               if not cert.skipped}
-    skipped = sorted(label for label, cert in first.items() if cert.skipped)
-    product_states = sum(cert.product_states for cert in checked.values())
-    product_arcs = sum(cert.product_arcs for cert in checked.values())
-    verify_seconds = sum(cert.seconds for cert in checked.values())
-
-    identical = all(first[label].to_dict() == second[label].to_dict()
-                    for label in first)
-
-    report = {
-        "checks": len(first),
-        "verified": len(checked),
-        "skipped": skipped,
-        "all_conforming": all(cert.ok for cert in checked.values()),
-        "product_states": product_states,
-        "product_arcs": product_arcs,
-        "verify_seconds": verify_seconds,
-        "states_per_second": (product_states / verify_seconds
-                              if verify_seconds > 0 else 0.0),
-        "arcs_per_second": (product_arcs / verify_seconds
-                            if verify_seconds > 0 else 0.0),
-        "full_suite_wall_seconds": cold_seconds,
-        "certificates_identical_between_passes": identical,
-        "structural_probes": structural,
-    }
-    REPORT_PATH.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
-    return report
+from repro.bench import pytest_case
 
 
 def test_verification_throughput(benchmark):
-    from conftest import print_table
-
-    report = benchmark.pedantic(build_report, rounds=1, iterations=1)
-
-    print_table(
-        "Verification throughput (suite + LR, all strategies)",
-        ("metric", "value"),
-        [("checks", report["checks"]),
-         ("verified", report["verified"]),
-         ("skipped", ", ".join(report["skipped"]) or "-"),
-         ("product states", report["product_states"]),
-         ("product arcs", report["product_arcs"]),
-         ("states/s", f"{report['states_per_second']:.0f}"),
-         ("full-suite wall", f"{report['full_suite_wall_seconds']:.2f}s")])
-
-    # The headline claims: every synthesized implementation conforms, the
-    # only hole in the surface is the unreduced micropipeline, and the
-    # certificates are deterministic.
-    assert report["all_conforming"]
-    assert report["skipped"] == ["micropipeline/none"]
-    assert report["certificates_identical_between_passes"]
-    assert report["product_states"] > 0
-    # The structural model both passes where it should and refutes the
-    # non-SI decomposition with a counterexample where it should.
-    assert all(probe["as_expected"]
-               for probe in report["structural_probes"].values())
-
-
-if __name__ == "__main__":
-    print(json.dumps(build_report(), indent=2, sort_keys=True))
+    pytest_case("verify_throughput", benchmark)

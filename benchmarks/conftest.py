@@ -1,26 +1,8 @@
-"""Shared helpers for the benchmark harness."""
+"""Pytest fixture shim; the helpers live in :mod:`repro.bench.harness`."""
 
 import pytest
 
-
-def print_table(title, header, rows):
-    """Render a paper-style table to stdout (shown with pytest -s)."""
-    print(f"\n=== {title} ===")
-    widths = [max(len(str(header[i])),
-                  max((len(str(row[i])) for row in rows), default=0))
-              for i in range(len(header))]
-    line = "  ".join(str(h).ljust(w) for h, w in zip(header, widths))
-    print(line)
-    print("-" * len(line))
-    for row in rows:
-        print("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))
-
-
-def report_row(report):
-    """(name, area, #CSC, cycle, inputs) with an estimate marker."""
-    name, area, csc, cycle, inputs = report.row()
-    area_text = f"{area}" if report.csc_resolved else f"~{area}"
-    return (name, area_text, csc, cycle, inputs)
+from repro.bench.harness import print_table, report_row  # noqa: F401
 
 
 @pytest.fixture

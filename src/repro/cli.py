@@ -13,6 +13,9 @@ Usage (also via ``python -m repro``)::
                            [--format md|csv|json] [-o report.md] [--verify]
     python -m repro serve  [--port 8080] [--workers 2] [--store DIR]
     python -m repro cache  stats|gc|clear DIR [--max-bytes N]
+    python -m repro bench  [--cases C[,C...]] [--tier quick|full|all]
+                           [--quick] [--out BENCH.json]
+                           [--against BENCH_baseline.json] [--tolerance 0.5]
 
 ``check``/``sg``/``synth``/``reduce`` read astg-style ``.g`` files (see
 ``repro.petri.parser``); ``verify`` additionally accepts registry spec
@@ -24,7 +27,10 @@ long-running HTTP service with request deduplication and micro-batching
 (:mod:`repro.serve`).  ``synth``, ``verify``, ``sweep`` and ``serve`` all
 share one ``--store`` directory (the content-addressed artifact store):
 warm runs skip every pipeline stage whose inputs didn't change, and
-``cache`` inspects, garbage-collects or clears that store.
+``cache`` inspects, garbage-collects or clears that store.  ``bench``
+runs the unified benchmark registry (:mod:`repro.bench`) into one
+versioned ``BENCH_<rev>.json`` and can gate it against a committed
+baseline.
 
 ``python -m repro.cli --dump-docs`` renders the whole command tree as
 markdown; ``docs/cli.md`` is that output, committed (a test keeps it in
@@ -333,6 +339,54 @@ def cmd_cache(args: argparse.Namespace) -> int:
     raise SystemExit(f"unknown cache action {args.action!r}")
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    from . import bench
+
+    if args.list:
+        for case in bench.all_cases():
+            print(f"{case.name:20s} {case.tier:5s} {case.title}")
+        return 0
+    try:
+        cases = bench.select_cases(names=_parse_csv(args.cases),
+                                   tier=args.tier)
+    except KeyError as exc:
+        raise SystemExit(str(exc))
+
+    report = bench.run_cases(cases, quick=args.quick, rounds=args.rounds)
+    for skip in bench.skipped_checks(report):
+        print(f"check skipped -- {skip}", file=sys.stderr)
+
+    out = args.out or bench.default_bench_name(report["env"])
+    with open(out, "wb") as handle:
+        handle.write(bench.to_json_bytes(report))
+    total = sum(entry["seconds"] for entry in report["cases"].values())
+    print(f"wrote {out}: {len(report['cases'])} cases, {total:.1f}s "
+          f"(rev {report['env']['git_rev']})", file=sys.stderr)
+
+    failures = bench.failed_checks(report)
+    for failure in failures:
+        print(f"check FAILED -- {failure}", file=sys.stderr)
+
+    status = 1 if failures else 0
+    if args.against:
+        with open(args.against, "r", encoding="utf-8") as handle:
+            baseline = json.load(handle)
+        try:
+            comparison = bench.compare(report, baseline,
+                                       tolerance=args.tolerance)
+        except ValueError as exc:
+            raise SystemExit(str(exc))
+        print(comparison.to_markdown(), end="")
+        if args.verdict:
+            with open(args.verdict, "w", encoding="utf-8") as handle:
+                handle.write(json.dumps(comparison.to_dict(), indent=2,
+                                        sort_keys=True) + "\n")
+            print(f"wrote {args.verdict}", file=sys.stderr)
+        if not comparison.ok:
+            status = 1
+    return status
+
+
 def cmd_reduce(args: argparse.Namespace) -> int:
     initial, reduced = _reduced_sg(args)
     print(f"states: {len(initial)} -> {len(reduced)}", file=sys.stderr)
@@ -507,6 +561,38 @@ def build_parser() -> argparse.ArgumentParser:
     cache.add_argument("--max-bytes", type=int, default=None,
                        help="byte budget for gc")
     cache.set_defaults(func=cmd_cache)
+
+    bench = sub.add_parser(
+        "bench",
+        help="run the unified benchmark registry into a versioned BENCH "
+             "file, optionally gated against a baseline")
+    bench.add_argument("--cases", metavar="NAME[,NAME...]",
+                       help="explicit case subset (overrides --tier; see "
+                            "--list)")
+    bench.add_argument("--tier", choices=("quick", "full", "all"),
+                       default="all",
+                       help="run one tier: quick (sub-second, the CI gate) "
+                            "or full (multi-second throughput); default: all")
+    bench.add_argument("--quick", action="store_true",
+                       help="single timing round, no warmup (smoke mode; "
+                            "measured metrics are noisy)")
+    bench.add_argument("--rounds", type=int, default=3,
+                       help="timing rounds per measurement (min-of-N)")
+    bench.add_argument("--out", metavar="PATH",
+                       help="BENCH report path (default: BENCH_<rev>.json)")
+    bench.add_argument("--against", metavar="BASELINE",
+                       help="compare against a baseline BENCH file; exits "
+                            "non-zero on regressions or missing metrics")
+    bench.add_argument("--tolerance", type=float, default=None,
+                       help="relative tolerance for gated measured metrics "
+                            "(default: 0.5; exact metrics always gate at 0)")
+    bench.add_argument("--verdict", metavar="PATH",
+                       help="write the machine-readable comparison verdict "
+                            "to a JSON file")
+    bench.add_argument("--list", action="store_true",
+                       help="list registered cases (name, tier, title) and "
+                            "exit")
+    bench.set_defaults(func=cmd_bench)
     return parser
 
 

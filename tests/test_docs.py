@@ -29,11 +29,12 @@ def test_cli_docs_in_sync():
 def test_cli_docs_cover_every_command():
     text = (DOCS / "cli.md").read_text(encoding="utf-8")
     for command in ("check", "sg", "synth", "reduce", "verify", "sweep",
-                    "serve", "cache"):
+                    "serve", "cache", "bench"):
         assert f"## `repro {command}`" in text, f"{command} missing"
 
 
-@pytest.mark.parametrize("name", ["architecture.md", "formats.md", "cli.md"])
+@pytest.mark.parametrize("name", ["architecture.md", "formats.md", "cli.md",
+                                  "benchmarks.md"])
 def test_docs_exist_and_have_titles(name):
     text = (DOCS / name).read_text(encoding="utf-8")
     assert text.startswith("# "), f"{name} lacks a top-level title"
@@ -47,7 +48,7 @@ def _markdown_links(text):
 
 
 @pytest.mark.parametrize("path", ["README.md", "docs/architecture.md",
-                                  "docs/formats.md"])
+                                  "docs/formats.md", "docs/benchmarks.md"])
 def test_relative_links_resolve(path):
     source = REPO / path
     broken = [target for target in _markdown_links(
@@ -59,7 +60,7 @@ def test_relative_links_resolve(path):
 def test_readme_links_docs_and_changes():
     text = (REPO / "README.md").read_text(encoding="utf-8")
     for target in ("docs/architecture.md", "docs/formats.md", "docs/cli.md",
-                   "CHANGES.md"):
+                   "docs/benchmarks.md", "CHANGES.md"):
         assert target in text, f"README does not link {target}"
 
 
