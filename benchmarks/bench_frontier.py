@@ -1,0 +1,13 @@
+"""Frontier scaling: the shared exploration core on a 10^5-state family.
+
+Thin shim over the registered case -- the workload, metrics and checks
+live in :mod:`repro.bench.cases.frontier` (``frontier_scaling``): the
+packed level-vectorized engine vs the per-state walk on ``fifo_chain_10``,
+plus a compositional conformance product over a decoupled FIFO chain.
+"""
+
+from repro.bench import pytest_case
+
+
+def test_frontier_scaling(benchmark):
+    pytest_case("frontier_scaling", benchmark)

@@ -12,11 +12,12 @@ shims over the registry.
 | ``figures``  | fig1/fig2/fig3/fig6/fig8/fig10 | ``bench_fig*_*.py`` |
 | ``tables``   | table1_lr, table2_mmu, ablation_search | ``bench_table*_*.py``, ``bench_ablation_search.py`` |
 | ``engine``   | engine_scaling | ``bench_engine_scaling.py`` |
+| ``frontier`` | frontier_scaling | (new: shared exploration core) |
 | ``sweeps``   | sweep_throughput | ``bench_sweep.py`` |
 | ``pipelines``| pipeline_resume | ``bench_pipeline.py`` |
 | ``serving``  | serve_throughput | ``bench_serve.py`` |
 | ``verifying``| verify_throughput | ``bench_verify.py`` |
 """
 
-from . import (figures, tables, engine, sweeps,  # noqa: F401
+from . import (figures, tables, engine, frontier, sweeps,  # noqa: F401
                pipelines, serving, verifying)

@@ -1,11 +1,13 @@
 """Engine scaling: throughput of the packed-bitvector state-graph engine.
 
 Measures the hot paths the exploration loop lives in -- SG generation
-(states/sec) and concurrency-reduction search (explored
-configurations/sec) -- on the lr/mmu/par suites plus the full
-ablation-search sweep, anchored against the seed revision's numbers in
-``benchmarks/baseline_seed.json`` (captured on the same machine class
-before the engine work).  The cache-soundness and determinism claims are
+(states/sec, now the shared vectorized frontier of :mod:`repro.explore`)
+and concurrency-reduction search (explored configurations/sec) -- on the
+lr/mmu/par suites plus the full ablation-search sweep, anchored against
+the seed revision's numbers in ``benchmarks/baseline_seed.json``
+(captured on the same machine class before the engine work).  The
+scaling behaviour past these few-hundred-state suites lives in the
+``frontier_scaling`` case (:mod:`repro.bench.cases.frontier`).  The cache-soundness and determinism claims are
 checks: the engine's memo tables must be pure caches (byte-identical
 synthesis outputs with the engine on and off) and two consecutive runs
 must produce byte-identical fingerprints.

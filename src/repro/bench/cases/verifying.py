@@ -83,10 +83,69 @@ def _structural_probes():
     return results
 
 
+def _reduced_walk_probe():
+    """The partial-order-pruned product walk vs the exhaustive one.
+
+    Two legs pin the documented contract of ``reduced=True``
+    (:func:`repro.explore.ample_internal_moves`).  On vme_read/full the
+    structural netlist is single-cube -- no internal nets, no invisible
+    moves -- so the pruning is a no-op and the reduced walk must agree
+    with the exhaustive one state for state.  On half/full the two-cube
+    ``ao`` decomposition races on internal nets; the exhaustive walk
+    refutes it, and the pruned walk demonstrates exactly the documented
+    optimism: it hides the racing interleaving, so its pass certifies
+    nothing.  If either leg shifts, the pruning's semantics changed.
+    """
+    from repro.flow import run_flow_stg
+    from repro.sg.generator import generate_sg
+    from repro.specs import suite
+    from repro.verify import check_conformance
+
+    def pair(name):
+        initial_sg = generate_sg(suite.load(name))
+        flow = run_flow_stg(None, strategy="full", initial_sg=initial_sg,
+                            name=f"{name}/full")
+        full = check_conformance(flow.report.circuit.netlist,
+                                 flow.report.resolved_sg,
+                                 model="structural", name=f"{name}/full")
+        reduced = check_conformance(flow.report.circuit.netlist,
+                                    flow.report.resolved_sg,
+                                    model="structural",
+                                    name=f"{name}/full", reduced=True)
+        return full, reduced
+
+    exact_full, exact_reduced = pair("vme_read")
+    pruned_full, pruned_reduced = pair("half")
+    return {
+        "exact": {
+            "point": "vme_read/full",
+            "verdict_full": exact_full.verdict,
+            "verdict_reduced": exact_reduced.verdict,
+            "product_states_full": exact_full.product_states,
+            "product_states_reduced": exact_reduced.product_states,
+        },
+        "pruned": {
+            "point": "half/full",
+            "verdict_full": pruned_full.verdict,
+            "verdict_reduced": pruned_reduced.verdict,
+            "product_states_full": pruned_full.product_states,
+            "product_states_reduced": pruned_reduced.product_states,
+        },
+        "exact_without_internal_nets": (
+            exact_full.verdict == exact_reduced.verdict == "conforming"
+            and exact_full.product_states == exact_reduced.product_states
+            > 0),
+        "optimism_documented": (
+            pruned_full.verdict == "non-conforming"
+            and pruned_reduced.product_states > 0),
+    }
+
+
 def run_verify_throughput(context) -> dict:
     first, cold_seconds = _verify_everything()
     second, _ = _verify_everything()
     structural = _structural_probes()
+    reduced_walk = _reduced_walk_probe()
 
     checked = {label: cert for label, cert in first.items()
                if not cert.skipped}
@@ -116,6 +175,13 @@ def run_verify_throughput(context) -> dict:
         "structural_probes": structural,
         "structural_as_expected": all(probe["as_expected"]
                                       for probe in structural.values()),
+        "reduced_walk": reduced_walk,
+        "reduced_product_states":
+            reduced_walk["exact"]["product_states_reduced"],
+        "full_product_states":
+            reduced_walk["exact"]["product_states_full"],
+        "reduced_walk_exact": reduced_walk["exact_without_internal_nets"],
+        "reduced_walk_optimism": reduced_walk["optimism_documented"],
     }
 
 
@@ -129,6 +195,8 @@ register(BenchCase(
         Metric("verified", "checks", direction="higher"),
         Metric("product_states", "states"),
         Metric("product_arcs", "arcs"),
+        Metric("reduced_product_states", "states"),
+        Metric("full_product_states", "states"),
         Metric("states_per_second", "states/s", direction="higher",
                measured=True),
         Metric("arcs_per_second", "arcs/s", direction="higher",
@@ -154,8 +222,17 @@ register(BenchCase(
             r["structural_as_expected"],
             "the structural model must pass vme_read and refute half "
             "with a trace")),
+        Check("reduced_walk_exact_without_internal_nets", lambda r: _require(
+            r["reduced_walk_exact"],
+            "with no internal nets the pruned walk must agree with the "
+            "exhaustive one state for state")),
+        Check("reduced_walk_optimism_documented", lambda r: _require(
+            r["reduced_walk_optimism"],
+            "the exhaustive walk must refute half/full while the pruned "
+            "walk still explores -- the documented optimism of "
+            "reduced=True")),
     ),
-    info_keys=("skipped", "structural_probes"),
+    info_keys=("skipped", "structural_probes", "reduced_walk"),
     table=lambda r: (
         ("metric", "value"),
         [("checks", r["checks_total"]),

@@ -3,9 +3,11 @@
 Usage (also via ``python -m repro``)::
 
     python -m repro check  spec.g              # implementability report
-    python -m repro sg     spec.g [--dot]      # print the state graph
+    python -m repro sg     spec.g [--dot] [--max-states N] [--max-arcs N]
+                                   [--stubborn]
     python -m repro synth  spec.g [--full] [--no-reduce] [--keep li-,ri-]
                                    [-W 0.5] [--max-csc 4] [--store DIR]
+                                   [--sg-max-states N] [--sg-max-arcs N]
     python -m repro reduce spec.g [-o out.g]   # reduce + re-derive an STG
     python -m repro verify spec.g [--strategies none,full] [--store DIR]
                                    [--model atomic|structural]
@@ -17,10 +19,15 @@ Usage (also via ``python -m repro``)::
                            [--quick] [--out BENCH.json]
                            [--against BENCH_baseline.json] [--tolerance 0.5]
 
-``check``/``sg``/``synth``/``reduce`` read astg-style ``.g`` files (see
-``repro.petri.parser``); ``verify`` additionally accepts registry spec
-names (``repro verify half vme_read``) and checks the synthesized circuit
-of every requested reduction strategy against its specification; ``sweep``
+``check``/``sg``/``synth``/``reduce``/``verify`` read astg-style ``.g``
+files (see ``repro.petri.parser``), registry spec names (``repro verify
+half vme_read``) and parametric family members
+(``repro sg fifo_chain_8``, see :mod:`repro.specs.families`); ``verify``
+checks the synthesized circuit of every requested reduction strategy
+against its specification; ``sg`` and ``synth`` take exploration-budget
+knobs (``--max-states``/``--max-arcs``, ``--sg-max-states``/
+``--sg-max-arcs``) that bound state-graph generation through one
+:class:`repro.explore.ExplorationBudget`; ``sweep``
 runs the built-in benchmark registry through the whole Tables 1-2
 design-space grid in parallel; ``serve`` exposes the same flow as a
 long-running HTTP service with request deduplication and micro-batching
@@ -56,6 +63,43 @@ from .sg.resynthesis import ResynthesisError, resynthesise_stg
 from .timing.delays import DelayModel
 
 
+def _read_spec(spec: str):
+    """An STG from a ``.g`` path, a registry name or a family member."""
+    from .specs.families import family_names, load_family, parse_family_name
+    from .sweep.grid import spec_registry
+
+    if os.path.exists(spec):
+        return read_stg(spec)
+    try:
+        parse_family_name(spec)
+    except KeyError:
+        pass
+    else:
+        return load_family(spec)
+    registry = spec_registry()
+    factory = registry.get(spec)
+    if factory is None:
+        raise SystemExit(
+            f"{spec!r} is neither a .g file, a registry spec "
+            f"({sorted(registry)}) nor a family member "
+            f"(<kind>_<stages>[_s<seed>] with kind in {family_names()})")
+    return factory()
+
+
+def _generation_budget(args: argparse.Namespace):
+    """The ``ExplorationBudget`` requested by ``--max-states/--max-arcs``."""
+    from .explore import ExplorationBudget
+    from .sg.generator import DEFAULT_MAX_STATES
+
+    max_states = getattr(args, "max_states", None)
+    max_arcs = getattr(args, "max_arcs", None)
+    if max_states is None and max_arcs is None:
+        return None
+    return ExplorationBudget(
+        max_states=DEFAULT_MAX_STATES if max_states is None else max_states,
+        max_arcs=max_arcs)
+
+
 def _parse_keep(text: Optional[str]) -> List[tuple]:
     if not text:
         return []
@@ -67,7 +111,7 @@ def _parse_keep(text: Optional[str]) -> List[tuple]:
 
 
 def cmd_check(args: argparse.Namespace) -> int:
-    stg = read_stg(args.spec)
+    stg = _read_spec(args.spec)
     sg = generate_sg(stg)
     report = check_implementability(sg)
     print(f"model {stg.name}: {len(sg)} states, {sg.arc_count()} arcs")
@@ -85,7 +129,20 @@ def cmd_check(args: argparse.Namespace) -> int:
 
 
 def cmd_sg(args: argparse.Namespace) -> int:
-    sg = generate_sg(read_stg(args.spec))
+    from .sg.generator import GenerationBudgetError
+
+    try:
+        sg = generate_sg(_read_spec(args.spec),
+                         budget=_generation_budget(args),
+                         stubborn=args.stubborn)
+    except GenerationBudgetError as exc:
+        exceedance = exc.exceedance
+        raise SystemExit(
+            f"{exc} (admitted {exceedance.states} states, "
+            f"{exceedance.arcs} arcs; raise --max-states/--max-arcs)")
+    if args.stubborn:
+        print(f"# stubborn-set reduction on: {len(sg)} states is a "
+              "deadlock-preserving subset of the full state graph")
     if args.dot:
         print(sg.to_dot())
         return 0
@@ -99,7 +156,7 @@ def cmd_sg(args: argparse.Namespace) -> int:
 
 
 def _reduced_sg(args: argparse.Namespace):
-    sg = generate_sg(read_stg(args.spec))
+    sg = generate_sg(_read_spec(args.spec))
     keep = _parse_keep(getattr(args, "keep", None))
     if getattr(args, "no_reduce", False):
         return sg, sg
@@ -122,10 +179,19 @@ def cmd_synth(args: argparse.Namespace) -> int:
     else:
         strategy = "best-first"
     store = ArtifactStore(args.store) if args.store else None
-    flow = run_flow_stg(read_stg(args.spec), strategy=strategy,
-                        keep_conc=_parse_keep(getattr(args, "keep", None)),
-                        weight=args.weight, delays=delays,
-                        max_csc_signals=args.max_csc, store=store)
+    from .sg.generator import GenerationBudgetError
+    try:
+        flow = run_flow_stg(_read_spec(args.spec), strategy=strategy,
+                            keep_conc=_parse_keep(getattr(args, "keep", None)),
+                            weight=args.weight, delays=delays,
+                            max_csc_signals=args.max_csc,
+                            sg_max_states=args.sg_max_states,
+                            sg_max_arcs=args.sg_max_arcs, store=store)
+    except GenerationBudgetError as exc:
+        exceedance = exc.exceedance
+        raise SystemExit(
+            f"{exc} (admitted {exceedance.states} states, "
+            f"{exceedance.arcs} arcs; raise --sg-max-states/--sg-max-arcs)")
     report = flow.report
     print(f"states: {len(flow.initial_sg)} -> {len(flow.reduced_sg)} "
           "after reduction")
@@ -196,18 +262,11 @@ def cmd_sweep(args: argparse.Namespace) -> int:
 
 
 def _load_spec_sg(spec: str):
-    """(name, SG) from a ``.g`` path or a sweep-registry spec name."""
-    from .sweep.grid import spec_registry
-
+    """(name, SG) from a ``.g`` path, registry name or family member."""
+    stg = _read_spec(spec)
     if os.path.exists(spec):
-        stg = read_stg(spec)
         return stg.name, generate_sg(stg)
-    registry = spec_registry()
-    factory = registry.get(spec)
-    if factory is None:
-        raise SystemExit(f"{spec!r} is neither a .g file nor a registry "
-                         f"spec; available: {sorted(registry)}")
-    return spec, generate_sg(factory())
+    return spec, generate_sg(stg)
 
 
 def cmd_verify(args: argparse.Namespace) -> int:
@@ -419,6 +478,15 @@ def build_parser() -> argparse.ArgumentParser:
     sg = sub.add_parser("sg", help="print the state graph")
     sg.add_argument("spec", help=".g specification file")
     sg.add_argument("--dot", action="store_true", help="GraphViz output")
+    sg.add_argument("--max-states", type=int, default=None,
+                    help="cap on admitted states (default: the generator's "
+                    "200000-state budget); exceeding it is a structured "
+                    "error, never a truncated graph")
+    sg.add_argument("--max-arcs", type=int, default=None,
+                    help="cap on traversed arcs (default: unbounded)")
+    sg.add_argument("--stubborn", action="store_true",
+                    help="explore with the deadlock-preserving stubborn-set "
+                    "reduction (a subset of the full state graph)")
     sg.set_defaults(func=cmd_sg)
 
     def add_reduction_options(command: argparse.ArgumentParser) -> None:
@@ -441,6 +509,12 @@ def build_parser() -> argparse.ArgumentParser:
     synth.add_argument("--internal-delay", type=float, default=None,
                        help="delay of inserted CSC signals "
                             "(default: the output delay)")
+    synth.add_argument("--sg-max-states", type=int, default=None,
+                       help="state budget for SG generation (default: the "
+                       "generator's 200000-state budget)")
+    synth.add_argument("--sg-max-arcs", type=int, default=None,
+                       help="arc budget for SG generation "
+                       "(default: unbounded)")
     synth.add_argument("--store", metavar="DIR",
                        help="artifact store; warm runs reuse every pipeline "
                             "stage whose inputs didn't change")

@@ -1,0 +1,29 @@
+"""The shared exploration core.
+
+One budgeted, level-synchronized frontier engine under the three
+explicit-state searches of the flow -- state-graph generation
+(`repro.sg.generator`), the reduction searches (`repro.reduction`) and
+the conformance product (`repro.verify.conformance`).  See
+`docs/architecture.md` ("The exploration core") for the design.
+"""
+
+from .budget import (BudgetExceedance, BudgetExceeded, BudgetMeter,
+                     ExplorationBudget)
+from .frontier import (ExplorationRun, FrontierExploration, explore_packed,
+                       explore_tuples)
+from .reduce import ample_internal_moves, stubborn_reducer
+from .trace import minimal_trace
+
+__all__ = [
+    "BudgetExceedance",
+    "BudgetExceeded",
+    "BudgetMeter",
+    "ExplorationBudget",
+    "ExplorationRun",
+    "FrontierExploration",
+    "ample_internal_moves",
+    "explore_packed",
+    "explore_tuples",
+    "minimal_trace",
+    "stubborn_reducer",
+]

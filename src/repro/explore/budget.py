@@ -1,0 +1,162 @@
+"""One budget type for every exploration loop.
+
+Before this module, the three explicit-state searches each had their own
+limit semantics: :func:`repro.sg.generator.generate_sg` raised a bare
+``StateGraphError`` past ``limit`` states, the conformance product turned
+``max_states`` into a ``"state-limit"`` verdict, and the reduction search
+silently set a ``capped`` flag at ``max_explored``.  They now all consume
+an :class:`ExplorationBudget` -- max states, max arcs, optional wall-clock
+-- and report exceedance through one structured value, a
+:class:`BudgetExceedance` carried by :class:`BudgetExceeded`.  Each caller
+still *presents* the exceedance in its own vocabulary (exception, verdict,
+``capped`` stat), but the accounting, the off-by-one conventions and the
+reporting payload come from one place.
+
+Conventions (the unified semantics of the former three):
+
+* ``max_states`` counts *admitted* (distinct) states, the initial state
+  included; a budget of ``n`` admits exactly ``n`` states and raises while
+  admitting state ``n + 1``.
+* ``max_arcs`` counts traversed arcs (successor edges, duplicates
+  included); a budget of ``n`` allows exactly ``n`` arcs.
+* ``max_seconds`` is wall-clock from :meth:`ExplorationBudget.meter`;
+  it is checked at admission points, not asynchronously.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["BudgetExceedance", "BudgetExceeded", "BudgetMeter",
+           "ExplorationBudget"]
+
+
+@dataclass(frozen=True)
+class BudgetExceedance:
+    """Structured record of which resource ran out, and where.
+
+    ``resource`` is ``"states"``, ``"arcs"`` or ``"seconds"``; ``limit``
+    is the configured cap for that resource; ``states``/``arcs`` are the
+    counts admitted *within* budget when the exploration stopped (the
+    partial result is exactly that big).
+    """
+
+    resource: str
+    limit: float
+    states: int
+    arcs: int
+
+    def describe(self, subject: str = "exploration") -> str:
+        """Deterministic one-line rendering, e.g. for exception text."""
+        if self.resource == "seconds":
+            return f"{subject} exceeded {self.limit:g}s wall clock"
+        return f"{subject} exceeded {int(self.limit)} {self.resource}"
+
+    def to_payload(self) -> dict:
+        """JSON-ready rendering for reports and service responses."""
+        return {"resource": self.resource, "limit": self.limit,
+                "states": self.states, "arcs": self.arcs}
+
+
+class BudgetExceeded(Exception):
+    """An exploration ran out of budget; carries the structured record."""
+
+    def __init__(self, exceedance: BudgetExceedance,
+                 message: Optional[str] = None) -> None:
+        super().__init__(message or exceedance.describe())
+        self.exceedance = exceedance
+
+
+@dataclass(frozen=True)
+class ExplorationBudget:
+    """Resource limits for one exploration run (``None`` = unbounded)."""
+
+    max_states: Optional[int] = None
+    max_arcs: Optional[int] = None
+    max_seconds: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        for name in ("max_states", "max_arcs"):
+            value = getattr(self, name)
+            if value is not None and value < 0:
+                raise ValueError(f"{name} must be >= 0, got {value}")
+        if self.max_seconds is not None and self.max_seconds < 0:
+            raise ValueError(f"max_seconds must be >= 0, "
+                             f"got {self.max_seconds}")
+
+    @property
+    def unbounded(self) -> bool:
+        """True when nothing at all is capped."""
+        return (self.max_states is None and self.max_arcs is None
+                and self.max_seconds is None)
+
+    def meter(self) -> "BudgetMeter":
+        """A fresh mutable meter (starts the wall clock, if any)."""
+        return BudgetMeter(self)
+
+    def to_payload(self) -> dict:
+        """JSON-ready rendering (e.g. for config slices)."""
+        return {"max_states": self.max_states, "max_arcs": self.max_arcs,
+                "max_seconds": self.max_seconds}
+
+
+class BudgetMeter:
+    """Mutable charge counter for one exploration run.
+
+    The two state-space loops (generation, conformance product) call
+    :meth:`admit_state` / :meth:`charge_arc` and let :class:`BudgetExceeded`
+    propagate; the reduction search, whose ``capped`` flag must flip
+    *before* a candidate past the budget is even generated, uses the
+    non-raising :meth:`states_exhausted` pre-check with the same counters.
+    """
+
+    __slots__ = ("budget", "states", "arcs", "_started")
+
+    def __init__(self, budget: ExplorationBudget) -> None:
+        self.budget = budget
+        self.states = 0
+        self.arcs = 0
+        self._started = (time.perf_counter()
+                         if budget.max_seconds is not None else None)
+
+    def _exceed(self, resource: str, limit: float) -> "BudgetExceeded":
+        return BudgetExceeded(BudgetExceedance(
+            resource=resource, limit=limit,
+            states=self.states, arcs=self.arcs))
+
+    def admit_state(self) -> None:
+        """Charge one newly admitted (distinct) state."""
+        limit = self.budget.max_states
+        if limit is not None and self.states + 1 > limit:
+            raise self._exceed("states", limit)
+        self.states += 1
+        self.check_clock()
+
+    def charge_arc(self, count: int = 1) -> None:
+        """Charge ``count`` traversed arcs."""
+        limit = self.budget.max_arcs
+        if limit is not None and self.arcs + count > limit:
+            raise self._exceed("arcs", limit)
+        self.arcs += count
+
+    def states_exhausted(self, admitted: Optional[int] = None) -> bool:
+        """Non-raising pre-check: would one more state exceed the budget?
+
+        ``admitted`` overrides the meter's own state count for callers
+        that track distinct configurations in their own ``seen`` set.
+        """
+        limit = self.budget.max_states
+        if limit is None:
+            return False
+        count = self.states if admitted is None else admitted
+        return count >= limit
+
+    def check_clock(self) -> None:
+        """Raise when the wall-clock budget has run out."""
+        limit = self.budget.max_seconds
+        if limit is None or self._started is None:
+            return
+        if time.perf_counter() - self._started > limit:
+            raise self._exceed("seconds", limit)

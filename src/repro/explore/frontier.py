@@ -1,0 +1,244 @@
+"""Level-synchronized frontier engines.
+
+Two engines share one discipline -- breadth-first over levels, one
+:class:`~repro.explore.budget.BudgetMeter` charging admissions, one
+parent map for trace reconstruction:
+
+* :class:`FrontierExploration` drives searches whose successor relation
+  lives in the caller (the conformance product walks circuit moves and
+  spec arcs, not a net).  Draining order is exactly FIFO, so rebasing a
+  hand-rolled ``deque`` loop onto it preserves which counterexample is
+  found first, byte for byte.
+* :func:`explore_packed` / :func:`explore_tuples` own the Petri-net
+  token game for state-graph generation and raw reachability.  The
+  packed engine expands a whole level per transition with int-wide
+  bitwise ops (:meth:`repro.petri.net.PackedNet.enabled_columns`); the
+  tuple engine is the per-state fallback for nets outside the 1-safe
+  packed regime, and the baseline the bench compares against.
+
+Both net engines emit the same :class:`ExplorationRun` -- states in
+admission order plus ``(source, transition, target)`` index arcs -- and
+explore the same state *set*; only the admission order differs (the
+packed engine discovers per level transition-major, the tuple engine
+state-major).  Everything downstream consumes canonicalized payloads,
+so the two orders are interchangeable.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import (Callable, Dict, Hashable, Iterator, List, Optional,
+                    Tuple)
+
+from ..petri.net import PackedNet, PackedOverflowError, PetriNet
+from .budget import BudgetMeter, ExplorationBudget
+from .trace import minimal_trace
+
+__all__ = ["ExplorationRun", "FrontierExploration", "explore_packed",
+           "explore_tuples"]
+
+_UNBOUNDED = ExplorationBudget()
+
+
+class FrontierExploration:
+    """Budgeted BFS driver over opaque hashable states.
+
+    The caller pulls states from :meth:`drain` and feeds successors back
+    through :meth:`admit`; the driver owns the visited set, the FIFO
+    level order, the parent map and the budget charging.  ``admit``
+    raises :class:`~repro.explore.budget.BudgetExceeded` (never silently
+    drops), so exceedance always reaches the caller as a structured
+    event.
+    """
+
+    def __init__(self, initial: Hashable,
+                 budget: Optional[ExplorationBudget] = None) -> None:
+        self.meter: BudgetMeter = (budget or _UNBOUNDED).meter()
+        self.parents: Dict[Hashable, Optional[Tuple[Hashable, object]]] = {}
+        self._queue: deque = deque()
+        self._level = 0
+        self._level_remaining = 1
+        self._next_level_count = 0
+        self.meter.admit_state()
+        self.parents[initial] = None
+        self._queue.append(initial)
+
+    @property
+    def level(self) -> int:
+        """The BFS depth of the state most recently drained."""
+        return self._level
+
+    @property
+    def state_count(self) -> int:
+        return len(self.parents)
+
+    def drain(self) -> Iterator[Hashable]:
+        """Yield states in admission (FIFO / level) order until empty."""
+        queue = self._queue
+        while queue:
+            if self._level_remaining == 0:
+                self._level += 1
+                self._level_remaining = self._next_level_count
+                self._next_level_count = 0
+                self.meter.check_clock()
+            self._level_remaining -= 1
+            yield queue.popleft()
+
+    def admit(self, state: Hashable, parent: Hashable,
+              step: object) -> bool:
+        """Record a successor; True when the state is new (and enqueued)."""
+        if state in self.parents:
+            return False
+        self.meter.admit_state()
+        self.parents[state] = (parent, step)
+        self._queue.append(state)
+        self._next_level_count += 1
+        return True
+
+    def trace_to(self, state: Hashable,
+                 final_step: Optional[object] = None) -> List[object]:
+        """Minimal step sequence from the initial state to ``state``."""
+        return minimal_trace(self.parents, state, final_step)
+
+
+@dataclass(frozen=True)
+class ExplorationRun:
+    """Result of one net reachability run.
+
+    ``states`` lists markings in admission order (index 0 = initial);
+    ``arcs`` are ``(source_index, transition_index, target_index)``
+    triples in traversal order; ``levels`` is the number of BFS levels
+    expanded.  The packed engine's states are packed ints, the tuple
+    engine's are tuple markings.
+    """
+
+    states: List[object]
+    arcs: List[Tuple[int, int, int]]
+    levels: int
+
+
+Reducer = Callable[[int, int], int]
+
+
+def explore_packed(packed: PackedNet,
+                   budget: Optional[ExplorationBudget] = None,
+                   reducer: Optional[Reducer] = None) -> ExplorationRun:
+    """Vectorized reachability over packed markings.
+
+    Each frontier level is transposed into per-place columns once, and
+    each transition's enabled set across the whole level is a single
+    int-wide AND -- per-state Python work happens only for states that
+    actually fire.  With a ``reducer`` (``reducer(row, enabled_bits) ->
+    expanded_bits``, e.g. a stubborn-set selector) expansion falls back
+    to per-state enabled bitmasks, trading vectorization for a smaller
+    state space.
+
+    Raises :class:`~repro.petri.net.PackedOverflowError` when the net
+    leaves the 1-safe regime mid-run; callers fall back to
+    :func:`explore_tuples`.
+    """
+    meter = (budget or _UNBOUNDED).meter()
+    pre_masks = packed.pre_masks
+    post_masks = packed.post_masks
+    index: Dict[int, int] = {packed.initial: 0}
+    states: List[int] = [packed.initial]
+    meter.admit_state()
+    arcs: List[Tuple[int, int, int]] = []
+    level: List[int] = [0]
+    levels = 0
+    while level:
+        levels += 1
+        level_rows = [states[i] for i in level]
+        next_level: List[int] = []
+        if reducer is None:
+            for t, mask in enumerate(packed.enabled_columns(level_rows)):
+                clear = ~pre_masks[t]
+                post = post_masks[t]
+                while mask:
+                    low = mask & -mask
+                    mask ^= low
+                    slot = low.bit_length() - 1
+                    cleared = level_rows[slot] & clear
+                    if cleared & post:
+                        raise PackedOverflowError(
+                            f"firing "
+                            f"{packed.transition_names[t]!r} leaves "
+                            f"the 1-safe regime")
+                    successor = cleared | post
+                    meter.charge_arc()
+                    target = index.get(successor)
+                    if target is None:
+                        meter.admit_state()
+                        target = len(states)
+                        index[successor] = target
+                        states.append(successor)
+                        next_level.append(target)
+                    arcs.append((level[slot], t, target))
+        else:
+            for slot, source in enumerate(level):
+                row = level_rows[slot]
+                chosen = reducer(row, packed.enabled_bits(row))
+                while chosen:
+                    low = chosen & -chosen
+                    chosen ^= low
+                    t = low.bit_length() - 1
+                    successor = packed.fire_bits(t, row)
+                    meter.charge_arc()
+                    target = index.get(successor)
+                    if target is None:
+                        meter.admit_state()
+                        target = len(states)
+                        index[successor] = target
+                        states.append(successor)
+                        next_level.append(target)
+                    arcs.append((source, t, target))
+        meter.check_clock()
+        level = next_level
+    return ExplorationRun(states=states, arcs=arcs, levels=levels)
+
+
+def explore_tuples(net: PetriNet,
+                   budget: Optional[ExplorationBudget] = None
+                   ) -> ExplorationRun:
+    """Per-state reachability over tuple markings.
+
+    The general-semantics fallback (and bench baseline): weighted arcs
+    and token counts above one are fine here.  Uses
+    :meth:`~repro.petri.net.PetriNet.fire_incremental` so each firing
+    only rechecks the transitions whose enabling it can change.
+    Successors of one state are expanded in net declaration order.
+    """
+    meter = (budget or _UNBOUNDED).meter()
+    order = {t: i for i, t in enumerate(net.transition_names)}
+    initial = net.initial_marking()
+    index: Dict[tuple, int] = {initial: 0}
+    states: List[tuple] = [initial]
+    meter.admit_state()
+    arcs: List[Tuple[int, int, int]] = []
+    enabled_of: List[frozenset] = [
+        frozenset(net.enabled_transitions(initial))]
+    level: List[int] = [0]
+    levels = 0
+    while level:
+        levels += 1
+        next_level: List[int] = []
+        for source in level:
+            marking = states[source]
+            enabled = enabled_of[source]
+            for name in sorted(enabled, key=order.__getitem__):
+                successor, succ_enabled = net.fire_incremental(
+                    name, marking, enabled)
+                meter.charge_arc()
+                target = index.get(successor)
+                if target is None:
+                    meter.admit_state()
+                    target = len(states)
+                    index[successor] = target
+                    states.append(successor)
+                    enabled_of.append(succ_enabled)
+                    next_level.append(target)
+                arcs.append((source, order[name], target))
+        meter.check_clock()
+        level = next_level
+    return ExplorationRun(states=states, arcs=arcs, levels=levels)

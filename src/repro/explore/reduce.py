@@ -1,0 +1,88 @@
+"""Partial-order reduction hooks for the frontier engines.
+
+Off by default everywhere: with reduction off the engines explore the
+full state space and all outputs stay byte-identical to the unreduced
+code paths.  Switched on, the hooks shrink the explored space while
+preserving the properties the callers check:
+
+* :func:`stubborn_reducer` builds a per-state stubborn-set selector for
+  net reachability (Valmari-style, deadlock-preserving): from the first
+  enabled transition in declaration order, close under (a) conflicting
+  transitions of every enabled member and (b) producers of the first
+  unmarked input place of every disabled member, then expand only the
+  enabled members of the closure.  Choice-free subnets collapse to
+  singleton expansions; the full enabled set is the worst case.  The
+  reduced graph reaches a subset of the full markings and exactly the
+  same deadlocks.
+* :func:`ample_internal_moves` is the conformance product's analogue:
+  when a product state offers moves invisible to the specification
+  (internal, signal-less circuit nodes), only the first one is
+  expanded.  Any failure the pruned walk finds is a real execution,
+  but a pass is exact only when the model has no internal moves at
+  all (the atomic model, or single-cube structural netlists) --
+  internal-net races are themselves hazards, so pruning their
+  interleavings can hide a violation the exhaustive walk would catch.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence, TypeVar
+
+from ..petri.net import PackedNet
+
+__all__ = ["ample_internal_moves", "stubborn_reducer"]
+
+Move = TypeVar("Move")
+
+
+def stubborn_reducer(packed: PackedNet) -> Callable[[int, int], int]:
+    """A ``reducer(row, enabled_bits) -> expanded_bits`` stubborn selector.
+
+    All three inputs/outputs are bitmasks: ``row`` over places,
+    ``enabled_bits`` and the result over transitions.  The selection is
+    deterministic (seeded from the lowest enabled transition index, i.e.
+    net declaration order), so reduced runs are reproducible.
+    """
+    conflicts = packed.conflicts
+    producers = packed.producers
+    pre_places = packed.pre_places
+
+    def select(row: int, enabled: int) -> int:
+        if enabled & (enabled - 1) == 0:
+            return enabled
+        stubborn = enabled & -enabled
+        work = stubborn
+        while work:
+            low = work & -work
+            work ^= low
+            t = low.bit_length() - 1
+            if enabled >> t & 1:
+                grown = conflicts[t]
+            else:
+                grown = 0
+                for place in pre_places[t]:
+                    if not row >> place & 1:
+                        grown = producers[place]
+                        break
+            fresh = grown & ~stubborn
+            stubborn |= fresh
+            work |= fresh
+        return stubborn & enabled
+
+    return select
+
+
+def ample_internal_moves(moves: Sequence[Move],
+                         invisible: Callable[[Move], bool]) -> List[Move]:
+    """Keep only the first spec-invisible move, when one exists.
+
+    With no invisible move on offer, all moves are returned unchanged --
+    visible moves must never be pruned, they are what conformance
+    judges.  Refutation-sound, not verification-complete: the pruned
+    walk explores a subset of executions, so its failures are real but
+    its passes certify nothing about the pruned interleavings.
+    """
+    for move in moves:
+        if invisible(move):
+            return [move]
+    return list(moves)

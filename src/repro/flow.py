@@ -222,6 +222,8 @@ def run_flow_stg(stg: Optional[STG],
                  verify: bool = False,
                  verify_model: str = "atomic",
                  verify_max_states: Optional[int] = None,
+                 sg_max_states: Optional[int] = None,
+                 sg_max_arcs: Optional[int] = None,
                  store: Optional[ArtifactStore] = None) -> FlowResult:
     """The Fig. 4 pipeline from a complete STG (stages 2-8).
 
@@ -229,6 +231,8 @@ def run_flow_stg(stg: Optional[STG],
     one call evaluates one design point (``strategy`` x ``weight`` x
     ``keep_conc``).  Passing a pre-generated ``initial_sg`` skips SG
     generation (sweep workers cache the SG per spec).
+    ``sg_max_states``/``sg_max_arcs`` budget the generation stage
+    (:class:`repro.explore.ExplorationBudget` knobs).
     """
     if initial_sg is None and stg is None:
         raise ValueError("run_flow_stg needs an STG or a pre-generated SG")
@@ -237,7 +241,8 @@ def run_flow_stg(stg: Optional[STG],
         keep_conc=keep_conc, max_explored=max_explored, delays=delays,
         max_csc_signals=max_csc_signals, library=library,
         resynthesise=resynthesise, verify=verify, verify_model=verify_model,
-        verify_max_states=verify_max_states)
+        verify_max_states=verify_max_states, sg_max_states=sg_max_states,
+        sg_max_arcs=sg_max_arcs)
     label = name or (stg.name if stg is not None else initial_sg.name)
     result = run_pipeline(config, stg=stg, initial_sg=initial_sg,
                           name=label, store=store)

@@ -452,6 +452,63 @@ class PetriNet:
                     queue.append(nxt)
         return seen
 
+    def compile_packed(self) -> Optional["PackedNet"]:
+        """Compile the net into the packed-marking form, if representable.
+
+        Returns ``None`` when the net cannot use single-bit-per-place
+        markings up front: some arc weight exceeds 1, or some place starts
+        with more than one token.  A net that *passes* this test can still
+        reach a marking with two tokens in a place; the packed token game
+        detects that at fire time (:class:`PackedOverflowError`) and the
+        caller falls back to tuple markings.
+        """
+        index = self._place_index
+        initial = 0
+        for place, tokens in self._initial.items():
+            if tokens > 1:
+                return None
+            if tokens:
+                initial |= 1 << index[place]
+        pre_masks: List[int] = []
+        post_masks: List[int] = []
+        pre_places: List[Tuple[int, ...]] = []
+        for t in self._transitions:
+            mask = 0
+            places: List[int] = []
+            for place, weight in self._pre[t].items():
+                if weight != 1:
+                    return None
+                places.append(index[place])
+                mask |= 1 << index[place]
+            pre_masks.append(mask)
+            pre_places.append(tuple(sorted(places)))
+            mask = 0
+            for place, weight in self._post[t].items():
+                if weight != 1:
+                    return None
+                mask |= 1 << index[place]
+            post_masks.append(mask)
+        t_index = {t: i for i, t in enumerate(self._transitions)}
+        conflicts: List[int] = []
+        for t in self._transitions:
+            mask = 0
+            for place in self._pre[t]:
+                for other in self._place_post[place]:
+                    mask |= 1 << t_index[other]
+            conflicts.append(mask)
+        producers = tuple(
+            sum(1 << t_index[t] for t in self._place_pre[place])
+            for place in self._places)
+        return PackedNet(
+            place_names=tuple(self._places),
+            transition_names=tuple(self._transitions),
+            pre_masks=tuple(pre_masks),
+            post_masks=tuple(post_masks),
+            pre_places=tuple(pre_places),
+            initial=initial,
+            conflicts=tuple(conflicts),
+            producers=producers)
+
     # ------------------------------------------------------------------
     # utilities
     # ------------------------------------------------------------------
@@ -493,3 +550,111 @@ class PetriNet:
     def __repr__(self) -> str:
         return (f"PetriNet({self.name!r}, |P|={len(self._places)}, "
                 f"|T|={len(self._transitions)})")
+
+
+class PackedOverflowError(PetriNetError):
+    """A packed firing would put a second token into a place.
+
+    Packed markings carry one bit per place, so they can only represent
+    1-safe behaviour; the packed token game raises this the moment a
+    firing leaves that regime, and callers fall back to tuple markings.
+    """
+
+
+@dataclass(frozen=True)
+class PackedNet:
+    """Bit-packed form of a (structurally 1-safe-capable) net.
+
+    A marking is one int with bit *p* set iff place *p* holds a token --
+    the place-side analogue of the state graph's per-state ``code_int``.
+    Enabledness is ``marking & pre == pre`` and firing is two bitwise
+    ops, so the token game runs on machine words instead of per-place
+    Python loops.  The batch methods extend this across a whole frontier
+    level: a level of *n* markings is transposed into per-place columns
+    (bit *j* of column *p* = "slot *j* marks place *p*"), and the enabled
+    set of every state in the level for one transition is a single
+    int-wide AND over its input-place columns.
+
+    ``conflicts``/``producers`` are transition bitmasks (bit *t* set)
+    serving the stubborn-set selector: transitions competing for any
+    input place of *t*, and the transitions producing into each place.
+    """
+
+    place_names: Tuple[str, ...]
+    transition_names: Tuple[str, ...]
+    pre_masks: Tuple[int, ...]
+    post_masks: Tuple[int, ...]
+    pre_places: Tuple[Tuple[int, ...], ...]
+    initial: int
+    conflicts: Tuple[int, ...]
+    producers: Tuple[int, ...]
+
+    # -- single markings ------------------------------------------------
+    def pack(self, marking: Marking) -> int:
+        """Pack a tuple marking; raises on token counts above one."""
+        packed = 0
+        for i, tokens in enumerate(marking):
+            if tokens > 1:
+                raise PackedOverflowError(
+                    f"place {self.place_names[i]!r} holds {tokens} tokens")
+            if tokens:
+                packed |= 1 << i
+        return packed
+
+    def unpack(self, packed: int) -> Marking:
+        """Expand a packed marking back into the tuple form."""
+        return tuple((packed >> i) & 1 for i in range(len(self.place_names)))
+
+    def enabled_bits(self, packed: int) -> int:
+        """Transition bitmask of everything enabled at one marking."""
+        mask = 0
+        for t, pre in enumerate(self.pre_masks):
+            if packed & pre == pre:
+                mask |= 1 << t
+        return mask
+
+    def fire_bits(self, transition: int, packed: int) -> int:
+        """Fire transition index ``transition`` from a packed marking.
+
+        The caller guarantees enabledness; a firing that would stack two
+        tokens raises :class:`PackedOverflowError`.
+        """
+        cleared = packed & ~self.pre_masks[transition]
+        post = self.post_masks[transition]
+        if cleared & post:
+            raise PackedOverflowError(
+                f"firing {self.transition_names[transition]!r} leaves "
+                f"the 1-safe regime")
+        return cleared | post
+
+    # -- frontier levels ------------------------------------------------
+    def level_columns(self, rows: Sequence[int]) -> List[int]:
+        """Transpose a level of packed markings into per-place columns."""
+        columns = [0] * len(self.place_names)
+        for slot, row in enumerate(rows):
+            bit = 1 << slot
+            remaining = row
+            while remaining:
+                low = remaining & -remaining
+                columns[low.bit_length() - 1] |= bit
+                remaining ^= low
+        return columns
+
+    def enabled_columns(self, rows: Sequence[int]) -> List[int]:
+        """Batch enabled sets: per-transition slot masks over a level.
+
+        Bit *j* of entry *t* is set iff ``rows[j]`` enables transition
+        *t* -- each entry is computed with one AND per input place,
+        covering the whole level at once.
+        """
+        columns = self.level_columns(rows)
+        full = (1 << len(rows)) - 1
+        masks: List[int] = []
+        for places in self.pre_places:
+            mask = full
+            for place in places:
+                mask &= columns[place]
+                if not mask:
+                    break
+            masks.append(mask)
+        return masks

@@ -165,6 +165,10 @@ class FlowConfig:
     verify: bool = False
     verify_model: str = "atomic"
     verify_max_states: int = DEFAULT_VERIFY_MAX_STATES
+    #: Optional state-graph generation budget (states / traversed arcs);
+    #: ``None`` keeps the generator's historical default state cap.
+    sg_max_states: Optional[int] = None
+    sg_max_arcs: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.strategy not in STRATEGIES:
@@ -188,7 +192,9 @@ class FlowConfig:
                phases: int = 4,
                verify: bool = False,
                verify_model: str = "atomic",
-               verify_max_states: Optional[int] = None) -> "FlowConfig":
+               verify_max_states: Optional[int] = None,
+               sg_max_states: Optional[int] = None,
+               sg_max_arcs: Optional[int] = None) -> "FlowConfig":
         """Build a config from flow-style arguments, normalizing as it goes.
 
         Accepts a :class:`Library` object or name for ``library`` and
@@ -215,7 +221,11 @@ class FlowConfig:
             verify_model=verify_model,
             verify_max_states=(DEFAULT_VERIFY_MAX_STATES
                                if verify_max_states is None
-                               else int(verify_max_states)))
+                               else int(verify_max_states)),
+            sg_max_states=(None if sg_max_states is None
+                           else int(sg_max_states)),
+            sg_max_arcs=(None if sg_max_arcs is None
+                         else int(sg_max_arcs)))
 
     def replace(self, **changes) -> "FlowConfig":
         """A copy with the given fields changed (keep_conc canonicalized)."""
@@ -260,6 +270,8 @@ class FlowConfig:
             "verify": self.verify,
             "verify_model": self.verify_model,
             "verify_max_states": self.verify_max_states,
+            "sg_max_states": self.sg_max_states,
+            "sg_max_arcs": self.sg_max_arcs,
         }
 
     @staticmethod
@@ -279,7 +291,11 @@ class FlowConfig:
             phases=payload["phases"],
             verify=payload["verify"],
             verify_model=payload["verify_model"],
-            verify_max_states=payload["verify_max_states"])
+            verify_max_states=payload["verify_max_states"],
+            # Absent in payloads serialized before the exploration-core
+            # budgets existed; missing means "generator default".
+            sg_max_states=payload.get("sg_max_states"),
+            sg_max_arcs=payload.get("sg_max_arcs"))
 
     def to_json(self) -> str:
         """The payload as deterministic, sorted JSON text."""
@@ -312,7 +328,12 @@ class FlowConfig:
         if stage == "expand":
             return {"phases": self.phases}
         if stage == "generate":
-            return {}
+            # Default budgets key exactly like the pre-budget era, so a
+            # warm store keeps serving every artifact it already holds.
+            if self.sg_max_states is None and self.sg_max_arcs is None:
+                return {}
+            return {"max_states": self.sg_max_states,
+                    "max_arcs": self.sg_max_arcs}
         if stage == "reduce":
             if self.strategy == "none":
                 return {"strategy": "none"}

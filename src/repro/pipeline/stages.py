@@ -36,6 +36,8 @@ from ..encoding.insertion import resolve_csc
 from ..petri.parser import parse_stg, write_stg
 from ..reduction.explore import (ExplorationResult, ExplorationStats,
                                  full_reduction_with_stats, reduce_concurrency)
+from ..explore import ExplorationBudget
+from ..sg.generator import DEFAULT_MAX_STATES as DEFAULT_SG_MAX_STATES
 from ..sg.generator import generate_sg
 from ..sg.graph import StateGraph
 from ..sg.resynthesis import ResynthesisError, resynthesise_stg
@@ -359,16 +361,28 @@ def run_pipeline(config: FlowConfig,
         stg_text = write_stg(stg)
 
     # ---------------------------------------------------------- generate
+    generate_slice = config.slice_for("generate")
     if initial_sg is not None:
         sg_given = initial_sg
         results["generate"] = _execute(
-            store, "generate", {}, lambda: [cached_graph_digest(sg_given)],
+            store, "generate", generate_slice,
+            lambda: [cached_graph_digest(sg_given)],
             lambda: (_cached_sg_payload(sg_given), None))
     elif stg_text is not None:
         text = stg_text
+
+        def compute_generate():
+            budget = ExplorationBudget(
+                max_states=(DEFAULT_SG_MAX_STATES
+                            if config.sg_max_states is None
+                            else config.sg_max_states),
+                max_arcs=config.sg_max_arcs)
+            return (sg_to_payload(generate_sg(parse_stg(text),
+                                              budget=budget)), None)
+
         results["generate"] = _execute(
-            store, "generate", {}, lambda: [text_digest(text)],
-            lambda: (sg_to_payload(generate_sg(parse_stg(text))), None))
+            store, "generate", generate_slice,
+            lambda: [text_digest(text)], compute_generate)
     else:
         raise PipelineError(
             "run_pipeline needs a spec, an STG (or .g text), or a "

@@ -11,8 +11,11 @@ Accounting is strategy-independent: every strategy fills in the same
 :class:`ExplorationStats`, where ``explored`` always means the number of
 *distinct* configurations whose cost was evaluated (the input included) and
 ``expanded`` the subset whose successors were generated.  The
-``max_explored`` budget caps ``explored`` and is enforced inside the
-expansion loops, so a single wide level cannot blow past it.
+``max_explored`` budget is an :class:`~repro.explore.ExplorationBudget`
+state cap shared with the other frontier engines; it caps ``explored``
+via the meter's non-raising pre-check (the search must flip ``capped``
+*before* generating a candidate past the budget, never drop one
+silently), so a single wide level cannot blow past it.
 """
 
 from __future__ import annotations
@@ -20,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
+from ..explore import BudgetMeter, ExplorationBudget
 from ..hse.constraints import normalise_keep_conc
 from ..sg.graph import StateGraph
 from ..sg.regions import are_concurrent
@@ -96,6 +100,11 @@ def _signature(sg: StateGraph) -> tuple:
     return sg.signature()
 
 
+def _explored_meter(max_explored: Optional[int]) -> BudgetMeter:
+    """The shared budget meter capping distinct cost evaluations."""
+    return ExplorationBudget(max_states=max_explored).meter()
+
+
 def reduce_concurrency(sg: StateGraph,
                        keep_conc: Iterable[Tuple[str, str]] = (),
                        size_frontier: int = 4,
@@ -137,6 +146,7 @@ def reduce_concurrency(sg: StateGraph,
     # ``seen`` set exists purely for accounting: ``max_explored`` budgets
     # distinct cost evaluations, not generation events.
     seen: Set[tuple] = {_signature(sg)}
+    meter = _explored_meter(max_explored)
     expanded: Set[tuple] = set()
     capped = False
     best, best_cost = sg, initial_cost
@@ -153,7 +163,7 @@ def reduce_concurrency(sg: StateGraph,
                 continue
             expanded.add(signature)
             for before, delayed in sorted(reducible_pairs(current, preserved)):
-                if len(seen) >= max_explored:
+                if meter.states_exhausted(len(seen)):
                     capped = True
                     break
                 result = forward_reduction(current, delayed, before)
@@ -205,6 +215,7 @@ def _best_first(sg: StateGraph,
     counter = 0
     heap: List[Tuple[float, int, StateGraph]] = [(initial_cost, counter, sg)]
     seen: Set[tuple] = {_signature(sg)}
+    meter = _explored_meter(max_explored)
     expanded: Set[tuple] = set()
     capped = False
     history: List[ExplorationStep] = []
@@ -218,7 +229,7 @@ def _best_first(sg: StateGraph,
         expanded.add(signature)
         improved = False
         for before, delayed in sorted(reducible_pairs(current, preserved)):
-            if len(seen) >= max_explored:
+            if meter.states_exhausted(len(seen)):
                 capped = True
                 break
             result = forward_reduction(current, delayed, before)
@@ -261,6 +272,7 @@ def full_reduction_with_stats(sg: StateGraph,
     cost = cost_function or CostFunction(weight=weight)
     preserved = frozenset(normalise_keep_conc(sg, keep_conc))
     seen: Set[tuple] = {_signature(sg)}
+    meter = _explored_meter(max_explored)
     expanded: Set[tuple] = set()
     capped = False
     frontier: List[StateGraph] = [sg]
@@ -278,7 +290,7 @@ def full_reduction_with_stats(sg: StateGraph,
             expanded.add(signature)
             children = 0
             for before, delayed in sorted(reducible_pairs(current, preserved)):
-                if len(seen) >= max_explored:
+                if meter.states_exhausted(len(seen)):
                     capped = True
                     break
                 result = forward_reduction(current, delayed, before)

@@ -7,19 +7,53 @@ value, and every other signal keeps its value across the arc.  Constraints
 are solved with a parity union-find, so toggle (2-phase) specifications are
 handled uniformly with 4-phase ones; genuine inconsistencies are reported
 with a witness.
+
+Reachability itself runs on the shared exploration core
+(:mod:`repro.explore`): the packed level-vectorized engine when the net
+fits single-bit markings, the incremental tuple engine otherwise, both
+metered by one :class:`~repro.explore.ExplorationBudget`.
 """
 
 from __future__ import annotations
 
 from typing import Dict, Hashable, List, Optional, Tuple
 
-from ..petri.net import Marking, PetriNetError
+from ..explore import (BudgetExceeded, ExplorationBudget,
+                       FrontierExploration, explore_packed, explore_tuples,
+                       stubborn_reducer)
+from ..petri.net import PackedOverflowError
 from ..petri.stg import STG, Direction, SignalEvent, SignalKind
 from .graph import StateGraph, StateGraphError
 
+DEFAULT_MAX_STATES = 200_000
+
 
 class ConsistencyError(StateGraphError):
-    """The STG admits no consistent binary encoding."""
+    """The STG admits no consistent binary encoding.
+
+    When the inconsistency is witnessed during 2-phase unfolding,
+    ``witness`` holds the minimal firing sequence (transition names)
+    from the initial marking to the offending firing.
+    """
+
+    def __init__(self, message: str,
+                 witness: Optional[List[str]] = None) -> None:
+        super().__init__(message)
+        self.witness = witness
+
+
+class GenerationBudgetError(StateGraphError, BudgetExceeded):
+    """State-graph generation ran out of exploration budget.
+
+    A :class:`StateGraphError` for existing callers and a
+    :class:`~repro.explore.BudgetExceeded` for uniform structured
+    handling; ``exceedance`` carries the resource, limit and partial
+    counts.
+    """
+
+    def __init__(self, exceedance) -> None:
+        BudgetExceeded.__init__(self, exceedance,
+                                exceedance.describe("state graph"))
 
 
 class _ParityUnionFind:
@@ -61,8 +95,10 @@ class _ParityUnionFind:
         return True
 
 
-def generate_sg(stg: STG, limit: int = 200_000,
-                name: Optional[str] = None) -> StateGraph:
+def generate_sg(stg: STG, limit: int = DEFAULT_MAX_STATES,
+                name: Optional[str] = None, *,
+                budget: Optional[ExplorationBudget] = None,
+                stubborn: bool = False) -> StateGraph:
     """Build the state graph of an STG.
 
     For purely rise/fall STGs the states are the reachable markings and the
@@ -71,10 +107,20 @@ def generate_sg(stg: STG, limit: int = 200_000,
     *unfolded*: a state is a (marking, signal values) pair, since a marking
     revisited after an odd number of toggles is a different binary state.
 
+    ``budget`` caps the exploration (states / arcs / wall-clock); when
+    omitted, ``limit`` keeps its historical meaning as a plain state cap.
+    Running out of budget raises :class:`GenerationBudgetError` -- never a
+    silently truncated graph.  With ``stubborn=True``, reachability uses
+    the stubborn-set reduction hook (packed nets only; a reduced graph is
+    *not* the full state graph and is meant for reachability/deadlock
+    questions, not synthesis).
+
     Raises :class:`ConsistencyError` when no consistent encoding exists and
     :class:`StateGraphError` when the STG still contains dummy transitions
     (refine them away before synthesis).
     """
+    if budget is None:
+        budget = ExplorationBudget(max_states=limit)
     has_toggle = False
     for transition in stg.net.transitions:
         if transition.label is None:
@@ -85,7 +131,7 @@ def generate_sg(stg: STG, limit: int = 200_000,
                 and transition.label.direction == Direction.TOGGLE):
             has_toggle = True
     if has_toggle:
-        return _generate_unfolded(stg, limit, name)
+        return _generate_unfolded(stg, budget, name)
 
     sg = StateGraph(name or stg.name)
     for signal, kind in stg.signals.items():
@@ -96,41 +142,41 @@ def generate_sg(stg: STG, limit: int = 200_000,
         sg.declare_event(transition, stg.event_of(transition))
 
     net = stg.net
-    initial = net.initial_marking()
-    sg.add_state(initial)
-    sg.initial = initial
+    names = net.transition_names
+    run = None
+    try:
+        packed = net.compile_packed()
+        if packed is not None:
+            reducer = stubborn_reducer(packed) if stubborn else None
+            try:
+                run = explore_packed(packed, budget=budget, reducer=reducer)
+                markings = [packed.unpack(row) for row in run.states]
+            except PackedOverflowError:
+                run = None
+        if run is None:
+            run = explore_tuples(net, budget=budget)
+            markings = run.states
+    except BudgetExceeded as exceeded:
+        raise GenerationBudgetError(exceeded.exceedance) from None
 
-    # The frontier carries each marking's enabled set so a firing only
-    # rechecks the transitions it touched (PetriNet.fire_incremental);
-    # iteration stays in net declaration order for determinism.
-    order = {t: i for i, t in enumerate(net.transition_names)}
-    initial_enabled = frozenset(net.enabled_transitions(initial))
-    frontier: List[Tuple[Marking, frozenset]] = [(initial, initial_enabled)]
-    seen = {initial}
-    arcs: List[Tuple[Marking, str, Marking]] = []
-    while frontier:
-        marking, enabled = frontier.pop()
-        for transition in sorted(enabled, key=order.__getitem__):
-            nxt, nxt_enabled = net.fire_incremental(transition, marking, enabled)
-            arcs.append((marking, transition, nxt))
-            if nxt not in seen:
-                seen.add(nxt)
-                if len(seen) > limit:
-                    raise StateGraphError(f"state graph exceeded {limit} states")
-                frontier.append((nxt, nxt_enabled))
-    for source, label, target in arcs:
-        sg.add_arc(source, label, target)
+    sg.add_state(markings[0])
+    sg.initial = markings[0]
+    for source, transition, target in run.arcs:
+        sg.add_arc(markings[source], names[transition], markings[target])
 
     _assign_codes(stg, sg)
     return sg
 
 
-def _generate_unfolded(stg: STG, limit: int, name: Optional[str]) -> StateGraph:
+def _generate_unfolded(stg: STG, budget: ExplorationBudget,
+                       name: Optional[str]) -> StateGraph:
     """SG generation with explicit signal values in the state (2-phase).
 
     The initial values come from ``stg.initial_values`` (default 0); firing
     a rising transition from a high state (or falling from low) witnesses an
-    inconsistent specification.
+    inconsistent specification -- the :class:`ConsistencyError` carries the
+    minimal firing sequence reaching it, reconstructed from the engine's
+    parent map.
     """
     sg = StateGraph(name or stg.name)
     for signal, kind in stg.signals.items():
@@ -148,34 +194,36 @@ def _generate_unfolded(stg: STG, limit: int, name: Optional[str]) -> StateGraph:
     initial = (initial_marking, initial_values)
     sg.add_state(initial, initial_values)
     sg.initial = initial
-    initial_enabled = frozenset(net.enabled_transitions(initial_marking))
-    frontier = [(initial, initial_enabled)]
-    seen = {initial}
-    while frontier:
-        state, enabled = frontier.pop()
-        marking, values = state
-        for transition in sorted(enabled, key=order.__getitem__):
-            event = stg.event_of(transition)
-            position = index[event.signal]
-            current = values[position]
-            if event.direction == Direction.RISE and current != 0:
-                raise ConsistencyError(
-                    f"{transition} fires with {event.signal} already high")
-            if event.direction == Direction.FALL and current != 1:
-                raise ConsistencyError(
-                    f"{transition} fires with {event.signal} already low")
-            new_values = list(values)
-            new_values[position] = 1 - current
-            nxt_marking, nxt_enabled = net.fire_incremental(transition, marking,
-                                                            enabled)
-            target = (nxt_marking, tuple(new_values))
-            if target not in seen:
-                seen.add(target)
-                if len(seen) > limit:
-                    raise StateGraphError(f"state graph exceeded {limit} states")
-                sg.add_state(target, target[1])
-                frontier.append((target, nxt_enabled))
-            sg.add_arc(state, transition, target)
+    try:
+        engine = FrontierExploration(initial, budget)
+        enabled_of = {initial: frozenset(
+            net.enabled_transitions(initial_marking))}
+        for state in engine.drain():
+            enabled = enabled_of.pop(state)
+            marking, values = state
+            for transition in sorted(enabled, key=order.__getitem__):
+                event = stg.event_of(transition)
+                position = index[event.signal]
+                current = values[position]
+                if event.direction == Direction.RISE and current != 0:
+                    raise ConsistencyError(
+                        f"{transition} fires with {event.signal} already "
+                        f"high", witness=engine.trace_to(state, transition))
+                if event.direction == Direction.FALL and current != 1:
+                    raise ConsistencyError(
+                        f"{transition} fires with {event.signal} already "
+                        f"low", witness=engine.trace_to(state, transition))
+                new_values = list(values)
+                new_values[position] = 1 - current
+                nxt_marking, nxt_enabled = net.fire_incremental(
+                    transition, marking, enabled)
+                target = (nxt_marking, tuple(new_values))
+                if engine.admit(target, state, transition):
+                    sg.add_state(target, target[1])
+                    enabled_of[target] = nxt_enabled
+                sg.add_arc(state, transition, target)
+    except BudgetExceeded as exceeded:
+        raise GenerationBudgetError(exceeded.exceedance) from None
     return sg
 
 

@@ -1,0 +1,129 @@
+"""Seeded parametric spec families: scalable N-stage pipelines.
+
+The classic suite tops out at a few hundred SG states, which says nothing
+about how the exploration core behaves at 10^5+ states.  These families
+build arbitrarily long handshake chains out of per-stage ``.g`` cells
+fused by :func:`repro.petri.compose.compose_all`: stage *i* talks to
+stage *i+1* over a shared request/acknowledge pair ``(r{i+1}, a{i+1})``,
+so the composed chain is a closed speed-independent control with inputs
+``r0`` (data offered on the left) and ``a{n}`` (data accepted on the
+right).  Stage count is the scaling axis: the reachable state space grows
+exponentially with ``n`` while the net itself grows linearly.
+
+``seed`` deterministically shuffles each cell's arc declaration order.
+That permutes net/transition declaration order -- the order every
+exploration engine iterates in -- without changing the behaviour, so
+seed-invariance of canonical SG payloads is a meaningful equivalence
+check, not a tautology.
+
+Two shapes:
+
+* ``fifo_chain`` -- one-place FIFO cells (the suite's ``fifo_cell``
+  handshake, relabelled per stage): strictly sequential inside a cell,
+  concurrency only across cells.
+* ``micropipeline_chain`` -- two-phase-coupled micropipeline stages with
+  an explicit full/empty capacity place per cell (the suite's
+  ``micropipeline`` shape), giving denser per-stage concurrency.
+"""
+
+from __future__ import annotations
+
+import random
+import re
+from typing import Callable, Dict, List
+
+from ..petri.compose import compose_all
+from ..petri.parser import parse_stg
+from ..petri.stg import STG
+
+__all__ = ["FAMILIES", "family_names", "fifo_chain", "load_family",
+           "micropipeline_chain", "parse_family_name"]
+
+
+def _cell(model: str, inputs: str, outputs: str, arcs: List[str],
+          marking: str, initial: str, rng: random.Random) -> STG:
+    rng.shuffle(arcs)
+    text = (f".model {model}\n.inputs {inputs}\n.outputs {outputs}\n"
+            ".graph\n" + "\n".join(arcs) + "\n"
+            f".marking {{ {marking} }}\n.initial_state {initial}\n.end\n")
+    return parse_stg(text)
+
+
+def _fifo_cell(i: int, rng: random.Random) -> STG:
+    l_req, l_ack = f"r{i}", f"a{i}"
+    r_req, r_ack = f"r{i + 1}", f"a{i + 1}"
+    arcs = [f"{l_req}+ {l_ack}+", f"{l_ack}+ {l_req}-",
+            f"{l_req}- {l_ack}-", f"{l_ack}- {r_req}+",
+            f"{r_req}+ {r_ack}+", f"{r_ack}+ {r_req}-",
+            f"{r_req}- {r_ack}-", f"{r_ack}- {l_req}+"]
+    return _cell(f"fifo{i}", f"{l_req} {r_ack}", f"{l_ack} {r_req}", arcs,
+                 f"<{r_ack}-,{l_req}+>",
+                 f"!{l_req} !{l_ack} !{r_req} !{r_ack}", rng)
+
+
+def _micropipeline_cell(i: int, rng: random.Random) -> STG:
+    l_req, l_ack = f"r{i}", f"a{i}"
+    r_req, r_ack = f"r{i + 1}", f"a{i + 1}"
+    full, empty = f"full{i}", f"empty{i}"
+    arcs = [f"{l_req}+ {l_ack}+", f"{l_ack}+ {l_req}-",
+            f"{l_req}- {l_ack}-", f"{l_ack}- {l_req}+",
+            f"{l_ack}+ {full}", f"{full} {r_req}+",
+            f"{r_req}+ {empty}", f"{empty} {l_ack}+",
+            f"{r_req}+ {r_ack}+", f"{r_ack}+ {r_req}-",
+            f"{r_req}- {r_ack}-", f"{r_ack}- {r_req}+"]
+    return _cell(f"micropipeline{i}", f"{l_req} {r_ack}",
+                 f"{l_ack} {r_req}", arcs,
+                 f"<{l_ack}-,{l_req}+> <{r_ack}-,{r_req}+> {empty}",
+                 f"!{l_req} !{l_ack} !{r_req} !{r_ack}", rng)
+
+
+def _chain(kind: str, cell: Callable[[int, random.Random], STG],
+           stages: int, seed: int, name: str = None) -> STG:
+    if stages < 1:
+        raise ValueError(f"{kind} needs at least 1 stage, got {stages}")
+    rng = random.Random((kind, stages, seed).__repr__())
+    composed = compose_all([cell(i, rng) for i in range(stages)],
+                           name=name or f"{kind}_{stages}")
+    return composed
+
+
+def fifo_chain(stages: int, seed: int = 0, name: str = None) -> STG:
+    """An ``stages``-deep chain of one-place FIFO cells."""
+    return _chain("fifo_chain", _fifo_cell, stages, seed, name)
+
+
+def micropipeline_chain(stages: int, seed: int = 0,
+                        name: str = None) -> STG:
+    """An ``stages``-deep chain of micropipeline control stages."""
+    return _chain("micropipeline_chain", _micropipeline_cell, stages, seed,
+                  name)
+
+
+FAMILIES: Dict[str, Callable[..., STG]] = {
+    "fifo_chain": fifo_chain,
+    "micropipeline_chain": micropipeline_chain,
+}
+
+_NAME = re.compile(r"^(?P<kind>[a-z_]+)_(?P<stages>\d+)(_s(?P<seed>\d+))?$")
+
+
+def family_names() -> List[str]:
+    """The family kinds (parameterize as ``<kind>_<stages>[_s<seed>]``)."""
+    return sorted(FAMILIES)
+
+
+def parse_family_name(name: str):
+    """Split ``fifo_chain_8`` / ``fifo_chain_8_s3`` into (kind, n, seed)."""
+    match = _NAME.match(name)
+    if match and match.group("kind") in FAMILIES:
+        return (match.group("kind"), int(match.group("stages")),
+                int(match.group("seed") or 0))
+    raise KeyError(f"unknown family spec {name!r}; expected "
+                   f"<kind>_<stages>[_s<seed>] with kind in "
+                   f"{family_names()}")
+
+
+def load_family(name: str) -> STG:
+    """Build a family member from its parametric name."""
+    kind, stages, seed = parse_family_name(name)
+    return FAMILIES[kind](stages, seed=seed, name=name)

@@ -148,3 +148,23 @@ def sweep_sources() -> Dict[str, Callable[[], STG]]:
     sweep like the paper's own benchmarks do.
     """
     return {name: partial(load, name) for name in suite_names()}
+
+
+def family_names() -> List[str]:
+    """The registered parametric family kinds (:mod:`repro.specs.families`).
+
+    Families are the suite's scaling axis: a member is named
+    ``<kind>_<stages>[_s<seed>]`` (e.g. ``fifo_chain_8``,
+    ``micropipeline_chain_4_s2``) and built on demand by
+    :func:`load_family`.  They are deliberately *not* part of
+    :func:`sweep_sources` -- members can dwarf the classic suite by
+    orders of magnitude, so sweeps over them are opt-in.
+    """
+    from .families import family_names as _family_names
+    return _family_names()
+
+
+def load_family(name: str) -> STG:
+    """Build one parametric family member from its name."""
+    from .families import load_family as _load_family
+    return _load_family(name)

@@ -22,19 +22,23 @@ Along every product arc the checker asserts:
   at the interface, so semi-modularity is reported separately and only
   escalates the verdict under ``require_semi_modular=True``.
 
-Exploration is breadth-first in a fixed deterministic order, so the first
-failure found is at minimal depth and the counterexample trace is minimal;
-the same order makes reports byte-identical across hash seeds and
-serial-vs-parallel sweep runs.
+Exploration runs on the shared frontier engine of :mod:`repro.explore`
+(breadth-first, fixed deterministic order), so the first failure found is
+at minimal depth and the counterexample trace is minimal; the same order
+makes reports byte-identical across hash seeds and serial-vs-parallel
+sweep runs.  The state cap -- and optionally arc and wall-clock caps --
+are one :class:`~repro.explore.ExplorationBudget`; running out is always
+the structured ``"state-limit"`` verdict, never a silent truncation.
 """
 
 from __future__ import annotations
 
 import time
-from collections import deque
 from typing import Dict, List, Optional, Tuple
 
 from ..circuit.netlist import Netlist
+from ..explore import (BudgetExceeded, ExplorationBudget,
+                       FrontierExploration, ample_internal_moves)
 from ..petri.stg import Direction, SignalKind
 from ..sg.graph import StateGraph
 from .certificate import VerificationReport
@@ -58,27 +62,13 @@ class _Failure(Exception):
         self.step = step
 
 
-def _trace_to(parents: Dict[_ProductState, Optional[Tuple]],
-              state: _ProductState,
-              final_step: Optional[Dict[str, object]]) -> List[Dict[str, object]]:
-    """The BFS path from the initial product state, plus the failing step."""
-    steps: List[Dict[str, object]] = []
-    current = state
-    while parents[current] is not None:
-        previous, step = parents[current]
-        steps.append(step)
-        current = previous
-    steps.reverse()
-    if final_step is not None:
-        steps.append(final_step)
-    return steps
-
-
 def check_conformance(netlist: Netlist, spec: StateGraph,
                       model: str = "atomic",
                       max_states: int = DEFAULT_MAX_STATES,
                       require_semi_modular: bool = False,
-                      name: Optional[str] = None) -> VerificationReport:
+                      name: Optional[str] = None,
+                      budget: Optional[ExplorationBudget] = None,
+                      reduced: bool = False) -> VerificationReport:
     """Verify ``netlist`` against the specification SG ``spec``.
 
     ``spec`` is normally the CSC-resolved state graph the circuit was
@@ -86,6 +76,18 @@ def check_conformance(netlist: Netlist, spec: StateGraph,
     :class:`VerificationReport`; it never raises on a *bad circuit* -- an
     unsimulatable netlist (missing driver, unknown cell) yields a
     ``non-conforming`` report with the reason.
+
+    ``budget`` generalizes ``max_states`` to the full
+    :class:`~repro.explore.ExplorationBudget` (states, arcs, wall-clock);
+    when omitted, ``max_states`` alone caps the product.  With
+    ``reduced=True`` the walk expands only the first spec-invisible
+    (internal-net) move wherever one exists -- a partial-order pruning
+    that is refutation-sound (any failure it reports is a real
+    execution) but optimistic: when internal nets exist their races are
+    themselves hazards, and pruning their interleavings can hide one.
+    A reduced pass is exact only for models without internal moves
+    (atomic, or structural over single-cube netlists); it is off by
+    default and never used for certificates.
     """
     started = time.perf_counter()
     report_name = name or netlist.name
@@ -143,16 +145,22 @@ def check_conformance(netlist: Netlist, spec: StateGraph,
     event_direction = compiled.event_direction
     code_ints = compiled.code_ints
 
+    if budget is None:
+        budget = ExplorationBudget(max_states=max_states)
     start: _ProductState = (initial_values, initial_sid)
-    parents: Dict[_ProductState, Optional[Tuple]] = {start: None}
-    queue: deque = deque([start])
-    product_arcs = 0
     semi_modular = True
     semi_reason: Optional[str] = None
+    try:
+        engine = FrontierExploration(start, budget)
+    except BudgetExceeded as exceeded:
+        return failed("state-limit", exceeded.exceedance.describe("product"),
+                      [], {"conforming": True, "hazard_free": True,
+                           "deadlock_free": True, "semi_modular": True},
+                      sim=sim)
+    meter = engine.meter
 
     try:
-        while queue:
-            state = queue.popleft()
+        for state in engine.drain():
             values, sid = state
             excited = sim.excited(values)
             spec_out = succ[sid]
@@ -216,9 +224,18 @@ def check_conformance(netlist: Netlist, spec: StateGraph,
                     "deadlock",
                     "no node is excited and no input event is enabled",
                     state, None)
+            if reduced:
+                moves = ample_internal_moves(
+                    moves, lambda move: move[0]["kind"] == "net")
 
             for step, new_values, tid, nid, fired_lid in moves:
-                product_arcs += 1
+                try:
+                    meter.charge_arc()
+                except BudgetExceeded as exceeded:
+                    raise _Failure(
+                        "state-limit",
+                        exceeded.exceedance.describe("product"), state,
+                        step) from None
                 after = sim.excited_after(values, excited, new_values)
                 after_set = set(after)
                 for other in excited:
@@ -245,14 +262,13 @@ def check_conformance(netlist: Netlist, spec: StateGraph,
                             f"input {labels[lost[0]]} is withdrawn by "
                             f"{step['label']} (environment choice)")
                 successor = (new_values, tid)
-                if successor not in parents:
-                    if len(parents) >= max_states:
-                        raise _Failure(
-                            "state-limit",
-                            f"product exceeded {max_states} states",
-                            state, step)
-                    parents[successor] = (state, step)
-                    queue.append(successor)
+                try:
+                    engine.admit(successor, state, step)
+                except BudgetExceeded as exceeded:
+                    raise _Failure(
+                        "state-limit",
+                        exceeded.exceedance.describe("product"), state,
+                        step) from None
     except _Failure as failure:
         # Properties not refuted before the failing arc are reported as
         # they stood: refuted ones are False, the rest held so far.
@@ -263,9 +279,17 @@ def check_conformance(netlist: Netlist, spec: StateGraph,
             "semi_modular": semi_modular and failure.verdict != "hazard",
         }
         return failed(failure.verdict, failure.reason,
-                      _trace_to(parents, failure.state, failure.step),
-                      flags, sim=sim, product_states=len(parents),
-                      product_arcs=product_arcs)
+                      engine.trace_to(failure.state, failure.step),
+                      flags, sim=sim, product_states=engine.state_count,
+                      product_arcs=meter.arcs)
+    except BudgetExceeded as exceeded:
+        # Out of wall-clock between states: no single offending arc.
+        return failed("state-limit", exceeded.exceedance.describe("product"),
+                      [], {"conforming": True, "hazard_free": True,
+                           "deadlock_free": True,
+                           "semi_modular": semi_modular},
+                      sim=sim, product_states=engine.state_count,
+                      product_arcs=meter.arcs)
 
     verdict = "conforming"
     reason = None
@@ -279,6 +303,6 @@ def check_conformance(netlist: Netlist, spec: StateGraph,
         semi_modular=semi_modular,
         spec_states=spec_states, spec_arcs=spec_arcs,
         net_count=len(sim.nets), node_count=len(sim.nodes),
-        product_states=len(parents), product_arcs=product_arcs,
+        product_states=engine.state_count, product_arcs=meter.arcs,
         trace=[], reason=reason,
         seconds=time.perf_counter() - started)

@@ -206,3 +206,50 @@ class TestReduce:
         assert main(["reduce", lr_file, "--full"]) == 0
         out = capsys.readouterr().out
         assert ".model" in out and ".end" in out
+
+
+class TestExplorationFlags:
+    """The exploration-core surface: budgets, stubborn, family specs."""
+
+    def test_sg_family_member(self, capsys):
+        assert main(["sg", "fifo_chain_2"]) == 0
+        assert "28 states" in capsys.readouterr().out
+
+    def test_sg_budget_exceeded_is_clean(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["sg", "fifo_chain_2", "--max-states", "5"])
+        message = str(excinfo.value)
+        assert "exceeded 5 states" in message
+        assert "raise --max-states/--max-arcs" in message
+
+    def test_sg_arc_budget(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["sg", "half", "--max-arcs", "3"])
+        assert "arcs" in str(excinfo.value)
+
+    def test_sg_exact_budget_passes(self, capsys):
+        assert main(["sg", "fifo_chain_2", "--max-states", "28"]) == 0
+        assert "28 states" in capsys.readouterr().out
+
+    def test_sg_stubborn_banner(self, capsys):
+        assert main(["sg", "micropipeline", "--stubborn"]) == 0
+        out = capsys.readouterr().out
+        assert "stubborn-set reduction on" in out
+        assert "deadlock-preserving subset" in out
+
+    def test_unknown_spec_names_all_sources(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["sg", "no_such_spec"])
+        message = str(excinfo.value)
+        assert ".g file" in message
+        assert "fifo_chain" in message  # the family kinds are listed
+        assert "vme_read" in message    # so are the registry specs
+
+    def test_synth_sg_budget_exceeded_is_clean(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["synth", "fifo_chain_2", "--sg-max-states", "5"])
+        assert "--sg-max-states/--sg-max-arcs" in str(excinfo.value)
+
+    def test_check_family_member(self, capsys):
+        assert main(["check", "fifo_chain_1"]) in (0, 1)
+        assert "fifo_chain_1" in capsys.readouterr().out

@@ -1,0 +1,126 @@
+"""The exploration-core equivalence suite.
+
+The tentpole invariant of the shared frontier engine: rebasing SG
+generation, reduction search and the conformance product onto
+``repro.explore`` must not move a single byte of output.  The digests in
+``tests/data/golden_equivalence.json`` were captured from the pre-core
+code paths; every digest here is canonical (BFS-renumbered payloads,
+timing fields stripped), so the comparison is independent of hash seeds,
+dict order and machine speed.  The subprocess test re-derives a sample
+under different ``PYTHONHASHSEED`` values to prove that independence
+rather than assume it.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.pipeline.artifacts import sg_to_payload
+from repro.pipeline.hashing import digest_payload
+from repro.sg.generator import generate_sg
+from repro.specs import suite
+from repro.specs.fig1 import fig1_stg
+from repro.specs.lr import lr_expanded
+from repro.specs.mmu import mmu_expanded
+from repro.specs.par import par_expanded
+
+GOLDEN_PATH = Path(__file__).parent / "data" / "golden_equivalence.json"
+
+
+@pytest.fixture(scope="module")
+def golden():
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+def _spec_sources():
+    sources = {name: suite.load(name) for name in suite.suite_names()}
+    sources.update(fig1=fig1_stg(), lr=lr_expanded(), mmu=mmu_expanded(),
+                   par=par_expanded())
+    return sources
+
+
+def _certificate_digest(label):
+    from repro.flow import run_flow_stg
+    from repro.verify import verify_netlist
+
+    name, strategy = label.split("/")
+    sg = generate_sg(_spec_sources()[name])
+    impl = run_flow_stg(None, strategy=strategy, initial_sg=sg,
+                        name=label).report
+    report, _ = verify_netlist(impl.circuit.netlist, impl.resolved_sg,
+                               name=label)
+    payload = report.to_dict()
+    payload.pop("seconds", None)
+    return digest_payload(payload)
+
+
+class TestGoldenDigests:
+    def test_sg_payloads(self, golden):
+        sources = _spec_sources()
+        assert sorted(sources) == sorted(golden["sg_payload_digests"])
+        for name, stg in sorted(sources.items()):
+            digest = digest_payload(sg_to_payload(generate_sg(stg)))
+            assert digest == golden["sg_payload_digests"][name], name
+
+    def test_certificates(self, golden):
+        for label, want in sorted(golden["certificate_digests"].items()):
+            assert _certificate_digest(label) == want, label
+
+    def test_sweep_report(self, golden):
+        from repro.sweep import run_sweep
+        from repro.sweep.grid import tables_grid
+        from repro.sweep.report import to_json
+
+        rows = run_sweep(tables_grid(specs=golden["sweep_specs"]),
+                         jobs=1).rows
+        digest = digest_payload({"report": to_json(rows)})
+        assert digest == golden["sweep_report_digest"]
+
+
+_HASH_SEED_PROBE = """
+import json, sys
+from repro.pipeline.artifacts import sg_to_payload
+from repro.pipeline.hashing import digest_payload
+from repro.sg.generator import generate_sg
+from repro.specs import suite
+from repro.flow import run_flow_stg
+from repro.verify import verify_netlist
+
+out = {"sg": {}}
+for name in ("vme_read", "fifo_cell"):
+    out["sg"][name] = digest_payload(
+        sg_to_payload(generate_sg(suite.load(name))))
+impl = run_flow_stg(None, strategy="full",
+                    initial_sg=generate_sg(suite.load("half")),
+                    name="half/full").report
+report, _ = verify_netlist(impl.circuit.netlist, impl.resolved_sg,
+                           name="half/full")
+payload = report.to_dict()
+payload.pop("seconds", None)
+out["certificate"] = digest_payload(payload)
+json.dump(out, sys.stdout)
+"""
+
+
+class TestHashSeedIndependence:
+    def test_digests_stable_across_hash_seeds(self, golden):
+        results = []
+        for seed in ("0", "4242"):
+            env = dict(os.environ, PYTHONHASHSEED=seed)
+            env["PYTHONPATH"] = os.pathsep.join(
+                [str(Path(__file__).parents[1] / "src")]
+                + env.get("PYTHONPATH", "").split(os.pathsep))
+            proc = subprocess.run([sys.executable, "-c", _HASH_SEED_PROBE],
+                                  capture_output=True, text=True, env=env,
+                                  check=True)
+            results.append(json.loads(proc.stdout))
+        first, second = results
+        assert first == second
+        for name, digest in first["sg"].items():
+            assert digest == golden["sg_payload_digests"][name], name
+        assert (first["certificate"]
+                == golden["certificate_digests"]["half/full"])

@@ -1,0 +1,86 @@
+"""Unit tests for the parametric spec families (repro.specs.families)."""
+
+import pytest
+
+from repro.pipeline.artifacts import sg_to_payload
+from repro.pipeline.hashing import digest_payload
+from repro.sg.generator import generate_sg
+from repro.specs import suite
+from repro.specs.families import (family_names, fifo_chain, load_family,
+                                  micropipeline_chain, parse_family_name)
+
+
+def _sg_digest(stg):
+    return digest_payload(sg_to_payload(generate_sg(stg)))
+
+
+class TestGrowth:
+    """The documented closed forms of the reachable state counts."""
+
+    def test_fifo_chain_states(self):
+        for stages in (1, 2, 3, 4):
+            sg = generate_sg(fifo_chain(stages))
+            assert len(sg) == 3 ** (stages + 1) + (-1) ** stages, stages
+
+    def test_micropipeline_chain_states(self):
+        for stages in (1, 2):
+            sg = generate_sg(micropipeline_chain(stages))
+            assert len(sg) == 2 ** (3 * stages + 2), stages
+
+    def test_net_grows_linearly(self):
+        # Each cell adds 8 transitions and fuses 4 with its neighbour's
+        # shared handshake pair: 4n + 4 in total.
+        for stages in (1, 2, 4):
+            net = fifo_chain(stages).net
+            assert len(net.transitions) == 4 * stages + 4, stages
+
+
+class TestSeedInvariance:
+    """Seeds shuffle declaration order, never behaviour: the canonical
+    (BFS-renumbered) SG payload digest must not move."""
+
+    def test_fifo_chain(self):
+        digests = {_sg_digest(fifo_chain(3, seed=seed))
+                   for seed in (0, 1, 2)}
+        assert len(digests) == 1
+
+    def test_micropipeline_chain(self):
+        digests = {_sg_digest(micropipeline_chain(2, seed=seed))
+                   for seed in (0, 7)}
+        assert len(digests) == 1
+
+
+class TestNaming:
+    def test_parse_round_trip(self):
+        assert parse_family_name("fifo_chain_8") == ("fifo_chain", 8, 0)
+        assert parse_family_name("micropipeline_chain_4_s2") == (
+            "micropipeline_chain", 4, 2)
+
+    def test_unknown_rejected(self):
+        for bad in ("fifo_chain", "fifo_chain_x", "turbo_chain_3", "half"):
+            with pytest.raises(KeyError):
+                parse_family_name(bad)
+
+    def test_load_family_matches_constructor(self):
+        assert (_sg_digest(load_family("fifo_chain_2_s1"))
+                == _sg_digest(fifo_chain(2, seed=1,
+                                         name="fifo_chain_2_s1")))
+
+    def test_member_named_after_its_spec(self):
+        assert load_family("fifo_chain_3").name == "fifo_chain_3"
+
+    def test_registry_names(self):
+        assert family_names() == ["fifo_chain", "micropipeline_chain"]
+
+
+class TestSuiteAccessors:
+    """The suite facade delegates to the families registry but keeps
+    families out of sweep_sources (they are opt-in by size)."""
+
+    def test_delegation(self):
+        assert suite.family_names() == family_names()
+        assert (_sg_digest(suite.load_family("fifo_chain_2"))
+                == _sg_digest(fifo_chain(2)))
+
+    def test_not_in_sweep_sources(self):
+        assert not set(suite.sweep_sources()) & set(family_names())

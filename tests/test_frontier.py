@@ -1,0 +1,244 @@
+"""Unit tests for the shared exploration core (repro.explore)."""
+
+import pytest
+
+from repro.explore import (BudgetExceedance, BudgetExceeded, BudgetMeter,
+                           ExplorationBudget, ample_internal_moves,
+                           explore_packed, explore_tuples, minimal_trace,
+                           stubborn_reducer)
+from repro.petri.net import PetriNet
+from repro.sg.generator import GenerationBudgetError, StateGraphError, \
+    generate_sg
+from repro.specs import suite
+from repro.specs.families import fifo_chain, micropipeline_chain
+from repro.specs.lr import lr_expanded
+
+
+def _nets():
+    stgs = {name: suite.load(name) for name in suite.suite_names()}
+    stgs["lr"] = lr_expanded()
+    stgs["fifo_chain_3"] = fifo_chain(3)
+    stgs["micropipeline_chain_2"] = micropipeline_chain(2)
+    return {name: stg.net for name, stg in stgs.items()}
+
+
+class TestEngineEquivalence:
+    """explore_packed and explore_tuples must describe the same graph."""
+
+    def test_same_states_arcs_levels(self):
+        for name, net in _nets().items():
+            packed = net.compile_packed()
+            assert packed is not None, name
+            vec = explore_packed(packed)
+            seq = explore_tuples(net)
+            assert len(vec.states) == len(seq.states), name
+            assert len(vec.arcs) == len(seq.arcs), name
+            assert vec.levels == seq.levels, name
+
+    def test_same_marking_and_arc_sets(self):
+        # Orders differ (transition-major vs state-major); the *sets*
+        # of reachable markings and labelled arcs must not.
+        for name, net in _nets().items():
+            packed = net.compile_packed()
+            vec = explore_packed(packed)
+            seq = explore_tuples(net)
+            vec_markings = [packed.unpack(row) for row in vec.states]
+            assert set(vec_markings) == set(seq.states), name
+            names = net.transition_names
+
+            def arc_set(run, markings):
+                return {(markings[s], names[t], markings[d])
+                        for s, t, d in run.arcs}
+
+            assert (arc_set(vec, vec_markings)
+                    == arc_set(seq, seq.states)), name
+
+    def test_initial_state_first(self):
+        for name, net in _nets().items():
+            packed = net.compile_packed()
+            vec = explore_packed(packed)
+            seq = explore_tuples(net)
+            assert packed.unpack(vec.states[0]) == seq.states[0], name
+
+
+class TestExplorationBudget:
+    def test_negative_limits_rejected(self):
+        with pytest.raises(ValueError):
+            ExplorationBudget(max_states=-1)
+        with pytest.raises(ValueError):
+            ExplorationBudget(max_arcs=-2)
+        with pytest.raises(ValueError):
+            ExplorationBudget(max_seconds=-0.5)
+
+    def test_unbounded(self):
+        assert ExplorationBudget().unbounded
+        assert not ExplorationBudget(max_states=1).unbounded
+
+    def test_meter_admits_exactly_the_budget(self):
+        meter = ExplorationBudget(max_states=3).meter()
+        for _ in range(3):
+            meter.admit_state()
+        with pytest.raises(BudgetExceeded) as excinfo:
+            meter.admit_state()
+        exceedance = excinfo.value.exceedance
+        assert exceedance.resource == "states"
+        assert exceedance.limit == 3
+        assert exceedance.states == 3
+
+    def test_meter_charges_arcs(self):
+        meter = ExplorationBudget(max_arcs=5).meter()
+        meter.charge_arc(5)
+        with pytest.raises(BudgetExceeded) as excinfo:
+            meter.charge_arc()
+        assert excinfo.value.exceedance.resource == "arcs"
+
+    def test_states_exhausted_precheck(self):
+        meter = ExplorationBudget(max_states=2).meter()
+        assert not meter.states_exhausted()
+        meter.admit_state()
+        meter.admit_state()
+        assert meter.states_exhausted()
+        assert meter.states_exhausted(admitted=1) is False
+        assert ExplorationBudget().meter().states_exhausted() is False
+
+    def test_describe_wording(self):
+        exceedance = BudgetExceedance("states", 10, 10, 40)
+        assert exceedance.describe("product") == "product exceeded 10 states"
+        clock = BudgetExceedance("seconds", 1.5, 7, 20)
+        assert clock.describe() == "exploration exceeded 1.5s wall clock"
+
+
+class TestGenerationBudget:
+    """generate_sg budget semantics: exact fit passes, one less raises."""
+
+    def test_exact_budget_fits(self):
+        stg = suite.load("vme_read")
+        full = generate_sg(stg)
+        sized = generate_sg(stg, budget=ExplorationBudget(
+            max_states=len(full)))
+        assert len(sized) == len(full)
+        assert set(sized.arcs()) == set(full.arcs())
+
+    def test_one_state_short_raises(self):
+        stg = suite.load("vme_read")
+        n = len(generate_sg(stg))
+        with pytest.raises(GenerationBudgetError) as excinfo:
+            generate_sg(stg, budget=ExplorationBudget(max_states=n - 1))
+        exceedance = excinfo.value.exceedance
+        assert exceedance.resource == "states"
+        assert exceedance.states == n - 1
+
+    def test_error_is_both_kinds(self):
+        stg = suite.load("half")
+        with pytest.raises(StateGraphError):
+            generate_sg(stg, budget=ExplorationBudget(max_states=1))
+        with pytest.raises(BudgetExceeded):
+            generate_sg(stg, budget=ExplorationBudget(max_states=1))
+
+    def test_arc_budget(self):
+        stg = suite.load("half")
+        full = generate_sg(stg)
+        assert len(generate_sg(stg, budget=ExplorationBudget(
+            max_arcs=full.arc_count()))) == len(full)
+        with pytest.raises(GenerationBudgetError) as excinfo:
+            generate_sg(stg, budget=ExplorationBudget(
+                max_arcs=full.arc_count() - 1))
+        assert excinfo.value.exceedance.resource == "arcs"
+
+    def test_legacy_limit_still_caps(self):
+        with pytest.raises(GenerationBudgetError):
+            generate_sg(suite.load("micropipeline"), limit=3)
+
+
+class TestConformanceBudget:
+    def test_state_limit_verdict(self):
+        from repro.flow import run_flow_stg
+        from repro.verify import check_conformance
+
+        sg = generate_sg(suite.load("vme_read"))
+        flow = run_flow_stg(None, strategy="full", initial_sg=sg,
+                            name="vme_read/full")
+        report = check_conformance(flow.report.circuit.netlist,
+                                   flow.report.resolved_sg, max_states=3,
+                                   name="vme_read/full")
+        assert report.verdict == "state-limit"
+        assert report.reason == "product exceeded 3 states"
+        assert not report.ok
+
+
+class TestStubbornReduction:
+    def test_reduced_markings_subset_of_full(self):
+        for name, net in _nets().items():
+            packed = net.compile_packed()
+            full = explore_packed(packed)
+            reduced = explore_packed(packed,
+                                     reducer=stubborn_reducer(packed))
+            assert 0 < len(reduced.states) <= len(full.states), name
+            assert set(reduced.states) <= set(full.states), name
+
+    def test_generate_sg_stubborn_subset(self):
+        stg = suite.load("micropipeline")
+        full = generate_sg(stg)
+        reduced = generate_sg(stg, stubborn=True)
+        assert set(reduced.states) <= set(full.states)
+        assert reduced.initial == full.initial
+
+    def test_deadlocks_preserved(self):
+        # A net with a genuine deadlock: two handshakes race for one
+        # shared token; grabbing both halves out of order gets stuck.
+        net = PetriNet("deadlocky")
+        for place, tokens in (("free", 1), ("wa", 1), ("wb", 1),
+                              ("ga", 0), ("gb", 0)):
+            net.add_place(place, tokens=tokens)
+        net.add_transition("ta")
+        net.add_arc("free", "ta")
+        net.add_arc("wa", "ta")
+        net.add_arc("ta", "ga")
+        net.add_transition("tb")
+        net.add_arc("free", "tb")
+        net.add_arc("wb", "tb")
+        net.add_arc("tb", "gb")
+        packed = net.compile_packed()
+        assert packed is not None
+
+        def deadlocks(run):
+            sources = {source for source, _, _ in run.arcs}
+            return {run.states[i] for i in range(len(run.states))
+                    if i not in sources}
+
+        full = explore_packed(packed)
+        reduced = explore_packed(packed, reducer=stubborn_reducer(packed))
+        assert deadlocks(full)
+        assert deadlocks(reduced) == deadlocks(full)
+
+    def test_off_is_byte_identical(self):
+        from repro.pipeline.artifacts import sg_to_payload
+        from repro.pipeline.hashing import digest_payload
+
+        stg = suite.load("fifo_cell")
+        assert (digest_payload(sg_to_payload(generate_sg(stg)))
+                == digest_payload(sg_to_payload(
+                    generate_sg(stg, stubborn=False))))
+
+
+class TestAmpleInternalMoves:
+    def test_first_invisible_move_wins(self):
+        moves = ["visible-a", "hidden-1", "hidden-2", "visible-b"]
+        kept = ample_internal_moves(moves, lambda m: m.startswith("hidden"))
+        assert kept == ["hidden-1"]
+
+    def test_all_visible_untouched(self):
+        moves = ("alpha", "beta")
+        assert ample_internal_moves(moves, lambda m: False) == ["alpha",
+                                                               "beta"]
+
+
+class TestMinimalTrace:
+    def test_shortest_path_reconstruction(self):
+        parents = {"s0": None, "s1": ("s0", "a+"), "s2": ("s1", "b+")}
+        assert minimal_trace(parents, "s2") == ["a+", "b+"]
+        assert minimal_trace(parents, "s0") == []
+
+    def test_final_step_appended(self):
+        parents = {"s0": None, "s1": ("s0", "a+")}
+        assert minimal_trace(parents, "s1", final_step="x-") == ["a+", "x-"]

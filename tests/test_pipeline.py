@@ -69,6 +69,38 @@ class TestFlowConfig:
         assert one == two
         assert one.digest() == two.digest()
 
+    def test_sg_budget_round_trip(self):
+        config = FlowConfig.create(strategy="full", sg_max_states=4096,
+                                   sg_max_arcs=100_000)
+        round_tripped = FlowConfig.from_json(config.to_json())
+        assert round_tripped == config
+        assert round_tripped.sg_max_states == 4096
+        assert round_tripped.sg_max_arcs == 100_000
+
+    def test_sg_budget_absent_in_old_payloads(self):
+        # Payloads serialized before the exploration-core budgets existed
+        # lack the two keys entirely; they must decode to the defaults.
+        config = FlowConfig.create(strategy="full")
+        payload = config.to_payload()
+        del payload["sg_max_states"], payload["sg_max_arcs"]
+        revived = FlowConfig.from_payload(payload)
+        assert revived == config
+        assert revived.sg_max_states is None
+        assert revived.sg_max_arcs is None
+
+    def test_sg_budget_slice_keys_generate_only(self):
+        # Default budgets key exactly like the pre-budget era (empty
+        # generate slice -> warm stores keep serving old artifacts);
+        # setting one invalidates generate and nothing else.
+        base = FlowConfig.create(strategy="full")
+        assert base.slice_for("generate") == {}
+        capped = base.replace(sg_max_states=10_000)
+        assert capped.slice_for("generate") == {"max_states": 10_000,
+                                                "max_arcs": None}
+        for stage in ("expand", "reduce", "resolve", "synthesize",
+                      "timing", "verify"):
+            assert base.slice_for(stage) == capped.slice_for(stage), stage
+
     def test_delay_slice_isolated(self):
         base = FlowConfig.create(strategy="full")
         slow = base.replace(delays=DelayModel.by_kind(4, 1, 1))
