@@ -27,6 +27,7 @@ import time
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
+from ..obs.trace import TraceRecorder, recording, summarize
 from .registry import BenchCase, CheckFailed, CheckSkipped
 
 __all__ = [
@@ -147,8 +148,10 @@ def run_case(case: BenchCase, context: Optional[RunContext] = None,
     :func:`failed_checks`.
     """
     context = context or RunContext()
+    recorder = TraceRecorder(meta={"case": case.name})
     started = time.perf_counter()
-    result = case.run(context)
+    with recording(recorder), recorder.span("case:" + case.name):
+        result = case.run(context)
     seconds = time.perf_counter() - started
 
     entry: Dict[str, Any] = {
@@ -158,6 +161,15 @@ def run_case(case: BenchCase, context: Optional[RunContext] = None,
         "metrics": {m.name: m.record(result) for m in case.metrics},
         "checks": {},
         "skipped_checks": [],
+        # Per-span-name breakdown of the case's trace.  Timing-flavoured
+        # like "seconds": canonical_payload copies explicit keys only, so
+        # this never reaches the byte-compared canonical projection.
+        "trace": {name: {"count": int(totals["count"]),
+                         "wall_s": round(totals["wall_s"], 6),
+                         "self_s": round(totals["self_s"], 6),
+                         "cpu_s": round(totals["cpu_s"], 6)}
+                  for name, totals in sorted(
+                      summarize(recorder.to_tree()).items())},
     }
     if case.info_keys:
         entry["info"] = {key: result[key] for key in case.info_keys}
@@ -219,10 +231,10 @@ def skipped_checks(report: Mapping[str, Any]) -> List[str]:
 def canonical_payload(report: Mapping[str, Any]) -> Dict[str, Any]:
     """The deterministic projection of a BENCH report.
 
-    Drops the environment, per-case wall seconds and every ``measured``
-    metric; what remains (exact metrics, check outcomes, skip reasons,
-    info) is byte-identical across repeated runs and hash seeds on one
-    machine.
+    Drops the environment, per-case wall seconds, the per-stage trace
+    breakdown and every ``measured`` metric; what remains (exact metrics,
+    check outcomes, skip reasons, info) is byte-identical across repeated
+    runs and hash seeds on one machine.
     """
     cases: Dict[str, Any] = {}
     for name, entry in report.get("cases", {}).items():

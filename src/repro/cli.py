@@ -18,6 +18,13 @@ Usage (also via ``python -m repro``)::
     python -m repro bench  [--cases C[,C...]] [--tier quick|full|all]
                            [--quick] [--out BENCH.json]
                            [--against BENCH_baseline.json] [--tolerance 0.5]
+    python -m repro trace  summarize out.json  # aggregate a --trace file
+
+``sg``/``synth``/``sweep``/``verify`` accept ``--trace PATH``
+(``--trace-format json|chrome``) to record a span trace of the run --
+pipeline stages, frontier levels -- without changing any output byte
+(:mod:`repro.obs`); the global ``--log-level info`` (or ``REPRO_LOG``)
+streams structured progress heartbeats to stderr.
 
 ``check``/``sg``/``synth``/``reduce``/``verify`` read astg-style ``.g``
 files (see ``repro.petri.parser``), registry spec names (``repro verify
@@ -136,10 +143,8 @@ def cmd_sg(args: argparse.Namespace) -> int:
                          budget=_generation_budget(args),
                          stubborn=args.stubborn)
     except GenerationBudgetError as exc:
-        exceedance = exc.exceedance
-        raise SystemExit(
-            f"{exc} (admitted {exceedance.states} states, "
-            f"{exceedance.arcs} arcs; raise --max-states/--max-arcs)")
+        raise SystemExit(f"{exc.exceedance.diagnose('state graph')} "
+                         "(raise --max-states/--max-arcs)")
     if args.stubborn:
         print(f"# stubborn-set reduction on: {len(sg)} states is a "
               "deadlock-preserving subset of the full state graph")
@@ -188,10 +193,8 @@ def cmd_synth(args: argparse.Namespace) -> int:
                             sg_max_states=args.sg_max_states,
                             sg_max_arcs=args.sg_max_arcs, store=store)
     except GenerationBudgetError as exc:
-        exceedance = exc.exceedance
-        raise SystemExit(
-            f"{exc} (admitted {exceedance.states} states, "
-            f"{exceedance.arcs} arcs; raise --sg-max-states/--sg-max-arcs)")
+        raise SystemExit(f"{exc.exceedance.diagnose('state graph')} "
+                         "(raise --sg-max-states/--sg-max-arcs)")
     report = flow.report
     print(f"states: {len(flow.initial_sg)} -> {len(flow.reduced_sg)} "
           "after reduction")
@@ -446,6 +449,19 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return status
 
 
+def cmd_trace(args: argparse.Namespace) -> int:
+    from .obs.trace import load_trace, render_summary
+
+    if args.action != "summarize":
+        raise SystemExit(f"unknown trace action {args.action!r}")
+    try:
+        payload = load_trace(args.file)
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        raise SystemExit(str(exc))
+    print(render_summary(payload), end="")
+    return 0
+
+
 def cmd_reduce(args: argparse.Namespace) -> int:
     initial, reduced = _reduced_sg(args)
     print(f"states: {len(initial)} -> {len(reduced)}", file=sys.stderr)
@@ -469,7 +485,25 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Synthesis of partially specified asynchronous systems "
                     "(DAC 1999 reproduction)")
+    parser.add_argument("--log-level",
+                        choices=("debug", "info", "warning", "error"),
+                        default=None,
+                        help="structured log level; at info the frontier "
+                             "and stage progress heartbeats stream to "
+                             "stderr (default: $REPRO_LOG or warning)")
     sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_trace_options(command: argparse.ArgumentParser) -> None:
+        command.add_argument("--trace", metavar="PATH",
+                             help="record a span trace of this run (pipeline "
+                                  "stages, frontier levels) to PATH; purely "
+                                  "observational, results are byte-identical "
+                                  "with or without it")
+        command.add_argument("--trace-format", choices=("json", "chrome"),
+                             default="json",
+                             help="trace layout: nested JSON tree (for "
+                                  "'repro trace summarize') or Chrome "
+                                  "trace_event (chrome://tracing, Perfetto)")
 
     check = sub.add_parser("check", help="implementability report")
     check.add_argument("spec", help=".g specification file")
@@ -487,6 +521,7 @@ def build_parser() -> argparse.ArgumentParser:
     sg.add_argument("--stubborn", action="store_true",
                     help="explore with the deadlock-preserving stubborn-set "
                     "reduction (a subset of the full state graph)")
+    add_trace_options(sg)
     sg.set_defaults(func=cmd_sg)
 
     def add_reduction_options(command: argparse.ArgumentParser) -> None:
@@ -518,6 +553,7 @@ def build_parser() -> argparse.ArgumentParser:
     synth.add_argument("--store", metavar="DIR",
                        help="artifact store; warm runs reuse every pipeline "
                             "stage whose inputs didn't change")
+    add_trace_options(synth)
     synth.set_defaults(func=cmd_synth)
 
     reduce_cmd = sub.add_parser("reduce",
@@ -554,6 +590,7 @@ def build_parser() -> argparse.ArgumentParser:
                         help="treat skipped points (no circuit) as failures")
     verify.add_argument("--json", metavar="PATH",
                         help="write all certificates to a JSON file")
+    add_trace_options(verify)
     verify.set_defaults(func=cmd_verify)
 
     sweep = sub.add_parser("sweep",
@@ -596,6 +633,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--format", choices=("md", "csv", "json"),
                        default="md", help="report format (default: md)")
     sweep.add_argument("-o", "--output", help="write the report to a file")
+    add_trace_options(sweep)
     sweep.set_defaults(func=cmd_sweep)
 
     serve = sub.add_parser(
@@ -667,6 +705,16 @@ def build_parser() -> argparse.ArgumentParser:
                        help="list registered cases (name, tier, title) and "
                             "exit")
     bench.set_defaults(func=cmd_bench)
+
+    trace = sub.add_parser(
+        "trace",
+        help="inspect recorded trace files (the --trace output)")
+    trace.add_argument("action", choices=("summarize",),
+                       help="summarize: aggregate count and wall/self/CPU "
+                            "seconds per span name")
+    trace.add_argument("file", help="trace file (JSON tree or Chrome "
+                                    "trace_event format)")
+    trace.set_defaults(func=cmd_trace)
     return parser
 
 
@@ -746,6 +794,27 @@ def dump_docs() -> str:
     return "\n".join(lines).rstrip() + "\n"
 
 
+def _setup_observability(args: argparse.Namespace) -> None:
+    """One logging setup + the heartbeat hook, for every subcommand."""
+    import logging
+
+    from .obs import progress
+    from .obs.logs import logger, setup_logging, structured
+
+    try:
+        setup_logging(getattr(args, "log_level", None))
+    except ValueError as exc:  # a bad $REPRO_LOG value
+        raise SystemExit(str(exc))
+    log = logger("repro.progress")
+    if log.isEnabledFor(logging.INFO):
+        progress.set_heartbeat(
+            lambda kind, fields: log.info(structured(kind, fields)))
+    else:
+        # Embedders (and earlier main() calls in one test process) may
+        # have left a hook installed; quiet levels must stay quiet.
+        progress.clear_heartbeat()
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
@@ -753,7 +822,23 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(dump_docs(), end="")
         return 0
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    _setup_observability(args)
+    trace_path = getattr(args, "trace", None)
+    if trace_path is None:
+        return args.func(args)
+    from .obs.trace import TraceRecorder, recording, write_trace
+
+    recorder = TraceRecorder(meta={"command": args.command,
+                                   "argv": list(argv)})
+    try:
+        with recording(recorder):
+            return args.func(args)
+    finally:
+        # Written even when the command exits early (budget exceedance,
+        # SystemExit): a partial trace is exactly what you want then.
+        write_trace(recorder, trace_path, args.trace_format)
+        print(f"wrote trace to {trace_path} ({args.trace_format})",
+              file=sys.stderr)
 
 
 if __name__ == "__main__":

@@ -40,13 +40,20 @@ class BudgetExceedance:
     ``resource`` is ``"states"``, ``"arcs"`` or ``"seconds"``; ``limit``
     is the configured cap for that resource; ``states``/``arcs`` are the
     counts admitted *within* budget when the exploration stopped (the
-    partial result is exactly that big).
+    partial result is exactly that big).  ``seconds`` is the elapsed wall
+    clock when the budget tripped and ``level`` the BFS depth being
+    expanded at that moment -- diagnostic context carried for
+    :meth:`diagnose`, deliberately absent from :meth:`describe` (whose
+    text lands in deterministic certificate payloads and must not vary
+    run to run).
     """
 
     resource: str
     limit: float
     states: int
     arcs: int
+    seconds: Optional[float] = None
+    level: Optional[int] = None
 
     def describe(self, subject: str = "exploration") -> str:
         """Deterministic one-line rendering, e.g. for exception text."""
@@ -54,10 +61,30 @@ class BudgetExceedance:
             return f"{subject} exceeded {self.limit:g}s wall clock"
         return f"{subject} exceeded {int(self.limit)} {self.resource}"
 
+    def diagnose(self, subject: str = "exploration") -> str:
+        """Verbose rendering with elapsed wall clock and BFS depth.
+
+        For human-facing error reports (CLI stderr); unlike
+        :meth:`describe` the text varies with timing, so it must never
+        feed a certificate or any other canonical payload.
+        """
+        text = (f"{self.describe(subject)} after {self.states} states, "
+                f"{self.arcs} arcs")
+        if self.seconds is not None:
+            text += f", {self.seconds:.2f}s elapsed"
+        if self.level is not None:
+            text += f", at BFS level {self.level}"
+        return text
+
     def to_payload(self) -> dict:
         """JSON-ready rendering for reports and service responses."""
-        return {"resource": self.resource, "limit": self.limit,
-                "states": self.states, "arcs": self.arcs}
+        payload = {"resource": self.resource, "limit": self.limit,
+                   "states": self.states, "arcs": self.arcs}
+        if self.seconds is not None:
+            payload["seconds"] = round(self.seconds, 6)
+        if self.level is not None:
+            payload["level"] = self.level
+        return payload
 
 
 class BudgetExceeded(Exception):
@@ -112,19 +139,26 @@ class BudgetMeter:
     non-raising :meth:`states_exhausted` pre-check with the same counters.
     """
 
-    __slots__ = ("budget", "states", "arcs", "_started")
+    __slots__ = ("budget", "states", "arcs", "level", "_started")
 
     def __init__(self, budget: ExplorationBudget) -> None:
         self.budget = budget
         self.states = 0
         self.arcs = 0
-        self._started = (time.perf_counter()
-                         if budget.max_seconds is not None else None)
+        #: BFS depth currently being expanded; the frontier engines keep
+        #: it current so exceedance reports can say *where* they stopped.
+        self.level = 0
+        self._started = time.perf_counter()
+
+    def elapsed(self) -> float:
+        """Wall-clock seconds since this meter was created."""
+        return time.perf_counter() - self._started
 
     def _exceed(self, resource: str, limit: float) -> "BudgetExceeded":
         return BudgetExceeded(BudgetExceedance(
             resource=resource, limit=limit,
-            states=self.states, arcs=self.arcs))
+            states=self.states, arcs=self.arcs,
+            seconds=self.elapsed(), level=self.level))
 
     def admit_state(self) -> None:
         """Charge one newly admitted (distinct) state."""
@@ -156,7 +190,7 @@ class BudgetMeter:
     def check_clock(self) -> None:
         """Raise when the wall-clock budget has run out."""
         limit = self.budget.max_seconds
-        if limit is None or self._started is None:
+        if limit is None:
             return
         if time.perf_counter() - self._started > limit:
             raise self._exceed("seconds", limit)

@@ -31,6 +31,9 @@ from dataclasses import dataclass
 from typing import (Callable, Dict, Hashable, Iterator, List, Optional,
                     Tuple)
 
+from ..obs import progress as obs_progress
+from ..obs.metrics import registry as obs_registry
+from ..obs.trace import span as obs_span
 from ..petri.net import PackedNet, PackedOverflowError, PetriNet
 from .budget import BudgetMeter, ExplorationBudget
 from .trace import minimal_trace
@@ -39,6 +42,40 @@ __all__ = ["ExplorationRun", "FrontierExploration", "explore_packed",
            "explore_tuples"]
 
 _UNBOUNDED = ExplorationBudget()
+
+
+def _frontier_heartbeat(engine: str, meter: BudgetMeter, depth: int,
+                        frontier: int, states: int, arcs: int,
+                        force: bool = False) -> None:
+    """One per-level progress event (no-op unless a hook is installed)."""
+    if not obs_progress.active():
+        return
+    elapsed = meter.elapsed()
+    fields: Dict[str, object] = {
+        "engine": engine, "level": depth, "frontier": frontier,
+        "states": states, "arcs": arcs,
+        "states_per_s": round(states / elapsed, 1) if elapsed > 0 else 0.0,
+    }
+    limit = meter.budget.max_states
+    if limit is not None:
+        fields["budget_remaining"] = int(limit) - states
+    obs_progress.emit("frontier", fields, force=force)
+
+
+def _record_run(engine: str, states: int, arcs: int, levels: int) -> None:
+    """Fold one finished reachability run into the default registry."""
+    reg = obs_registry()
+    reg.counter("repro_explore_runs_total",
+                "Completed reachability runs.", engine=engine).inc()
+    reg.counter("repro_explore_states_total",
+                "States admitted by reachability runs.",
+                engine=engine).inc(states)
+    reg.counter("repro_explore_arcs_total",
+                "Arcs traversed by reachability runs.",
+                engine=engine).inc(arcs)
+    reg.counter("repro_explore_levels_total",
+                "BFS levels expanded by reachability runs.",
+                engine=engine).inc(levels)
 
 
 class FrontierExploration:
@@ -81,7 +118,11 @@ class FrontierExploration:
                 self._level += 1
                 self._level_remaining = self._next_level_count
                 self._next_level_count = 0
+                self.meter.level = self._level
                 self.meter.check_clock()
+                _frontier_heartbeat("driver", self.meter, self._level,
+                                    self._level_remaining,
+                                    len(self.parents), self.meter.arcs)
             self._level_remaining -= 1
             yield queue.popleft()
 
@@ -148,53 +189,63 @@ def explore_packed(packed: PackedNet,
     level: List[int] = [0]
     levels = 0
     while level:
+        depth = levels
         levels += 1
-        level_rows = [states[i] for i in level]
-        next_level: List[int] = []
-        if reducer is None:
-            for t, mask in enumerate(packed.enabled_columns(level_rows)):
-                clear = ~pre_masks[t]
-                post = post_masks[t]
-                while mask:
-                    low = mask & -mask
-                    mask ^= low
-                    slot = low.bit_length() - 1
-                    cleared = level_rows[slot] & clear
-                    if cleared & post:
-                        raise PackedOverflowError(
-                            f"firing "
-                            f"{packed.transition_names[t]!r} leaves "
-                            f"the 1-safe regime")
-                    successor = cleared | post
-                    meter.charge_arc()
-                    target = index.get(successor)
-                    if target is None:
-                        meter.admit_state()
-                        target = len(states)
-                        index[successor] = target
-                        states.append(successor)
-                        next_level.append(target)
-                    arcs.append((level[slot], t, target))
-        else:
-            for slot, source in enumerate(level):
-                row = level_rows[slot]
-                chosen = reducer(row, packed.enabled_bits(row))
-                while chosen:
-                    low = chosen & -chosen
-                    chosen ^= low
-                    t = low.bit_length() - 1
-                    successor = packed.fire_bits(t, row)
-                    meter.charge_arc()
-                    target = index.get(successor)
-                    if target is None:
-                        meter.admit_state()
-                        target = len(states)
-                        index[successor] = target
-                        states.append(successor)
-                        next_level.append(target)
-                    arcs.append((source, t, target))
-        meter.check_clock()
+        meter.level = depth
+        with obs_span("frontier:level", engine="packed", level=depth,
+                      frontier=len(level)) as level_span:
+            level_rows = [states[i] for i in level]
+            next_level: List[int] = []
+            if reducer is None:
+                for t, mask in enumerate(packed.enabled_columns(level_rows)):
+                    clear = ~pre_masks[t]
+                    post = post_masks[t]
+                    while mask:
+                        low = mask & -mask
+                        mask ^= low
+                        slot = low.bit_length() - 1
+                        cleared = level_rows[slot] & clear
+                        if cleared & post:
+                            raise PackedOverflowError(
+                                f"firing "
+                                f"{packed.transition_names[t]!r} leaves "
+                                f"the 1-safe regime")
+                        successor = cleared | post
+                        meter.charge_arc()
+                        target = index.get(successor)
+                        if target is None:
+                            meter.admit_state()
+                            target = len(states)
+                            index[successor] = target
+                            states.append(successor)
+                            next_level.append(target)
+                        arcs.append((level[slot], t, target))
+            else:
+                for slot, source in enumerate(level):
+                    row = level_rows[slot]
+                    chosen = reducer(row, packed.enabled_bits(row))
+                    while chosen:
+                        low = chosen & -chosen
+                        chosen ^= low
+                        t = low.bit_length() - 1
+                        successor = packed.fire_bits(t, row)
+                        meter.charge_arc()
+                        target = index.get(successor)
+                        if target is None:
+                            meter.admit_state()
+                            target = len(states)
+                            index[successor] = target
+                            states.append(successor)
+                            next_level.append(target)
+                        arcs.append((source, t, target))
+            meter.check_clock()
+            if level_span is not None:
+                level_span.set(admitted=len(next_level),
+                               states=len(states), arcs=len(arcs))
+        _frontier_heartbeat("packed", meter, depth, len(level),
+                            len(states), len(arcs), force=not next_level)
         level = next_level
+    _record_run("packed", len(states), len(arcs), levels)
     return ExplorationRun(states=states, arcs=arcs, levels=levels)
 
 
@@ -221,24 +272,34 @@ def explore_tuples(net: PetriNet,
     level: List[int] = [0]
     levels = 0
     while level:
+        depth = levels
         levels += 1
-        next_level: List[int] = []
-        for source in level:
-            marking = states[source]
-            enabled = enabled_of[source]
-            for name in sorted(enabled, key=order.__getitem__):
-                successor, succ_enabled = net.fire_incremental(
-                    name, marking, enabled)
-                meter.charge_arc()
-                target = index.get(successor)
-                if target is None:
-                    meter.admit_state()
-                    target = len(states)
-                    index[successor] = target
-                    states.append(successor)
-                    enabled_of.append(succ_enabled)
-                    next_level.append(target)
-                arcs.append((source, order[name], target))
-        meter.check_clock()
+        meter.level = depth
+        with obs_span("frontier:level", engine="tuples", level=depth,
+                      frontier=len(level)) as level_span:
+            next_level: List[int] = []
+            for source in level:
+                marking = states[source]
+                enabled = enabled_of[source]
+                for name in sorted(enabled, key=order.__getitem__):
+                    successor, succ_enabled = net.fire_incremental(
+                        name, marking, enabled)
+                    meter.charge_arc()
+                    target = index.get(successor)
+                    if target is None:
+                        meter.admit_state()
+                        target = len(states)
+                        index[successor] = target
+                        states.append(successor)
+                        enabled_of.append(succ_enabled)
+                        next_level.append(target)
+                    arcs.append((source, order[name], target))
+            meter.check_clock()
+            if level_span is not None:
+                level_span.set(admitted=len(next_level),
+                               states=len(states), arcs=len(arcs))
+        _frontier_heartbeat("tuples", meter, depth, len(level),
+                            len(states), len(arcs), force=not next_level)
         level = next_level
+    _record_run("tuples", len(states), len(arcs), levels)
     return ExplorationRun(states=states, arcs=arcs, levels=levels)

@@ -1,0 +1,58 @@
+"""The observability spine: tracing spans, metrics, progress, logging.
+
+Stdlib-only and strictly *observational*: every layer of the flow
+(frontier engine, pipeline stages, serving, benchmarks) reports where
+its time and states went through this package, and none of it ever feeds
+back into a computation -- artifacts, certificates, bench canonical
+payloads and serve job results are byte-identical with observability on
+or off (pinned by ``tests/test_obs.py``).
+
+Four parts:
+
+* :mod:`repro.obs.trace` -- nested span tracing; JSON tree and Chrome
+  ``trace_event`` renderings.
+* :mod:`repro.obs.metrics` -- counters/gauges/histograms with JSON
+  snapshots and Prometheus text exposition.
+* :mod:`repro.obs.progress` -- throttled live heartbeats (per BFS level,
+  per pipeline stage).
+* :mod:`repro.obs.logs` -- the one structured-logging setup behind
+  ``repro --log-level`` / ``$REPRO_LOG``.
+
+See ``docs/observability.md`` for naming schemes and how to read a
+pipeline trace.
+"""
+
+from .logs import LOG_ENV, logger, setup_logging, structured
+from .metrics import (Counter, Gauge, Histogram, MetricsRegistry, registry,
+                      reset_registry)
+from .progress import (Heartbeat, active, clear_heartbeat, emit,
+                       set_heartbeat)
+from .trace import (Span, TraceRecorder, current, load_trace, recording,
+                    render_summary, span, summarize, write_trace)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Heartbeat",
+    "Histogram",
+    "LOG_ENV",
+    "MetricsRegistry",
+    "Span",
+    "TraceRecorder",
+    "active",
+    "clear_heartbeat",
+    "current",
+    "emit",
+    "load_trace",
+    "logger",
+    "recording",
+    "registry",
+    "render_summary",
+    "reset_registry",
+    "set_heartbeat",
+    "setup_logging",
+    "span",
+    "structured",
+    "summarize",
+    "write_trace",
+]

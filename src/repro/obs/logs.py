@@ -1,0 +1,89 @@
+"""One structured-logging setup for every entry point.
+
+Before this module each entry point configured logging (or didn't) its
+own way; now ``repro --log-level`` and the ``REPRO_LOG`` environment
+variable both funnel into :func:`setup_logging`, which configures the
+``repro`` logger hierarchy once with a line-oriented ``key=value``
+format::
+
+    2026-08-07T12:00:00 INFO repro.serve request method=POST path=/synth \
+        status=202 seconds=0.003 job=9f86d081e5c1
+
+:func:`structured` renders the ``event key=value ...`` message part;
+field order is insertion order (callers put the identifying fields
+first), values with spaces are quoted.  The heartbeat hook
+(:mod:`repro.obs.progress`) is wired into the same logger by the CLI, so
+``repro --log-level info synth big_spec.g`` streams frontier progress
+lines without any extra flag.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import sys
+from typing import Any, Optional
+
+__all__ = ["LOG_ENV", "logger", "setup_logging", "structured"]
+
+#: Environment variable consulted when no ``--log-level`` is given.
+LOG_ENV = "REPRO_LOG"
+
+_LEVELS = {"debug": logging.DEBUG, "info": logging.INFO,
+           "warning": logging.WARNING, "error": logging.ERROR}
+
+_FORMAT = "%(asctime)s %(levelname)s %(name)s %(message)s"
+_DATE_FORMAT = "%Y-%m-%dT%H:%M:%S"
+
+
+def structured(event: str, fields: Optional[dict] = None,
+               **extra: Any) -> str:
+    """Render ``event key=value ...`` with deterministic field order.
+
+    Fields come either as a dict (no name restrictions -- a field may be
+    called ``event`` or ``fields``) or as keyword arguments; the dict
+    form wins on key collisions.
+    """
+    merged: dict = dict(extra)
+    if fields:
+        merged.update(fields)
+    parts = [event]
+    for key, value in merged.items():
+        if isinstance(value, float):
+            text = f"{value:.6g}"
+        else:
+            text = str(value)
+        if " " in text or text == "":
+            text = '"' + text.replace('"', '\\"') + '"'
+        parts.append(f"{key}={text}")
+    return " ".join(parts)
+
+
+def logger(name: str = "repro") -> logging.Logger:
+    """The ``repro`` logger (or a child such as ``repro.serve``)."""
+    return logging.getLogger(name)
+
+
+def setup_logging(level: Optional[str] = None,
+                  stream=None) -> logging.Logger:
+    """Configure the ``repro`` logger hierarchy once; returns the root.
+
+    ``level`` falls back to ``$REPRO_LOG`` and then ``warning``.
+    Idempotent: a second call replaces the handler (so tests and
+    long-lived embedders can re-point the stream) instead of stacking
+    duplicates.  The logger does not propagate, so embedding
+    applications keep their own root logger untouched.
+    """
+    name = (level or os.environ.get(LOG_ENV) or "warning").lower()
+    if name not in _LEVELS:
+        raise ValueError(f"unknown log level {name!r}; "
+                         f"expected one of {sorted(_LEVELS)}")
+    root = logging.getLogger("repro")
+    root.setLevel(_LEVELS[name])
+    root.propagate = False
+    handler = logging.StreamHandler(stream or sys.stderr)
+    handler.setFormatter(logging.Formatter(_FORMAT, _DATE_FORMAT))
+    for existing in list(root.handlers):
+        root.removeHandler(existing)
+    root.addHandler(handler)
+    return root

@@ -1,0 +1,87 @@
+"""Throttled live-progress heartbeats.
+
+Long explorations are black boxes without this: a 177k-state frontier
+walk gives no sign of life until it returns.  The frontier engines and
+the pipeline stages call :func:`emit` at natural boundaries (one BFS
+level, one stage start/finish/reuse); when a hook is installed (the CLI
+wires one into the structured logger, see :mod:`repro.obs.logs`), the
+event reaches it -- throttled per event kind so a thousand fast levels
+cost one clock read each, not a thousand log lines.
+
+Like the rest of the observability spine this is pure observation: with
+no hook installed :func:`emit` is one ``None`` check, and a hook can
+never change a result -- it only watches.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Dict, Optional
+
+__all__ = ["Heartbeat", "active", "clear_heartbeat", "emit",
+           "set_heartbeat"]
+
+Hook = Callable[[str, Dict[str, Any]], None]
+
+#: Default minimum interval between delivered events of one kind.
+DEFAULT_INTERVAL = 0.5
+
+
+class Heartbeat:
+    """One installed hook plus its per-kind throttle state.
+
+    ``min_interval`` is the floor between two delivered events of the
+    same kind; ``force=True`` events (stage boundaries, final level of a
+    run) always pass.  ``clock`` is injectable for tests.
+    """
+
+    def __init__(self, hook: Hook,
+                 min_interval: float = DEFAULT_INTERVAL,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        self.hook = hook
+        self.min_interval = min_interval
+        self.clock = clock
+        self._last: Dict[str, float] = {}
+
+    def emit(self, kind: str, fields: Dict[str, Any],
+             force: bool = False) -> bool:
+        """Deliver one event unless throttled; True when delivered."""
+        now = self.clock()
+        if not force:
+            last = self._last.get(kind)
+            if last is not None and now - last < self.min_interval:
+                return False
+        self._last[kind] = now
+        self.hook(kind, fields)
+        return True
+
+
+_HEARTBEAT: Optional[Heartbeat] = None
+
+
+def set_heartbeat(hook: Hook,
+                  min_interval: float = DEFAULT_INTERVAL,
+                  clock: Callable[[], float] = time.monotonic) -> Heartbeat:
+    """Install ``hook`` as the process heartbeat; returns the wrapper."""
+    global _HEARTBEAT
+    _HEARTBEAT = Heartbeat(hook, min_interval=min_interval, clock=clock)
+    return _HEARTBEAT
+
+
+def clear_heartbeat() -> None:
+    """Remove the installed hook (emit becomes a no-op again)."""
+    global _HEARTBEAT
+    _HEARTBEAT = None
+
+
+def active() -> bool:
+    """Whether any hook is installed (lets callers skip field building)."""
+    return _HEARTBEAT is not None
+
+
+def emit(kind: str, fields: Dict[str, Any], force: bool = False) -> bool:
+    """Send one event to the installed hook; False when dropped/absent."""
+    heartbeat = _HEARTBEAT
+    if heartbeat is None:
+        return False
+    return heartbeat.emit(kind, fields, force=force)

@@ -1,0 +1,285 @@
+"""Nested span tracing: one recorder per run, spans per stage and level.
+
+A :class:`TraceRecorder` collects a tree of :class:`Span` records --
+name, sorted attributes, monotonic wall and CPU timings -- and renders it
+two ways: :meth:`~TraceRecorder.to_tree`, a deterministic JSON tree
+(sorted keys; the structure and attribute values are byte-stable across
+runs, only the timing fields vary), and :meth:`~TraceRecorder.to_chrome`,
+the Chrome ``trace_event`` format loadable in ``chrome://tracing`` and
+Perfetto.
+
+Instrumentation points never hold a recorder: they call the module-level
+:func:`span` context manager, which resolves the *active* recorder from a
+:class:`contextvars.ContextVar` and is a no-op (zero allocation beyond
+the context manager) when none is installed.  That is the heart of the
+observability invariant: with no recorder installed, the instrumented
+code paths compute exactly what they always computed -- tracing observes
+results, it never participates in them.  Install a recorder with
+:func:`recording`::
+
+    recorder = TraceRecorder(meta={"command": "synth"})
+    with recording(recorder):
+        run_pipeline(...)
+    write_trace(recorder, "out.json", "chrome")
+
+Span names are namespaced ``layer:detail`` (``pipeline``,
+``stage:generate``, ``frontier:level``, ``job``, ``case:table1``); the
+Chrome ``cat`` field is the prefix before the colon.  See
+``docs/observability.md`` for the naming scheme.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import Any, Dict, Iterator, List, Optional
+
+__all__ = ["Span", "TraceRecorder", "TRACE_SCHEMA", "current", "recording",
+           "span", "load_trace", "summarize", "render_summary",
+           "write_trace"]
+
+#: Version of the JSON trace-tree layout.
+TRACE_SCHEMA = 1
+
+_ACTIVE: ContextVar[Optional["TraceRecorder"]] = ContextVar(
+    "repro-trace-recorder", default=None)
+
+
+class Span:
+    """One timed region: name, attributes, wall/CPU duration, children.
+
+    ``start`` is seconds since the recorder's epoch (monotonic);
+    ``wall``/``cpu`` are filled when the region exits.  ``set`` attaches
+    attributes after entry -- stages use it to record the digest/cache
+    outcome they only know at the end.
+    """
+
+    __slots__ = ("name", "attrs", "start", "start_cpu", "wall", "cpu",
+                 "children")
+
+    def __init__(self, name: str, attrs: Dict[str, Any],
+                 start: float, start_cpu: float) -> None:
+        self.name = name
+        self.attrs = attrs
+        self.start = start
+        self.start_cpu = start_cpu
+        self.wall: float = 0.0
+        self.cpu: float = 0.0
+        self.children: List["Span"] = []
+
+    def set(self, **attrs: Any) -> None:
+        """Attach (or overwrite) attributes on an open or closed span."""
+        self.attrs.update(attrs)
+
+    def to_node(self) -> Dict[str, Any]:
+        """The JSON-tree rendering of this span (and its subtree)."""
+        node: Dict[str, Any] = {
+            "name": self.name,
+            "start_s": round(self.start, 6),
+            "wall_s": round(self.wall, 6),
+            "cpu_s": round(self.cpu, 6),
+        }
+        if self.attrs:
+            node["attrs"] = dict(sorted(self.attrs.items()))
+        if self.children:
+            node["children"] = [child.to_node() for child in self.children]
+        return node
+
+
+class TraceRecorder:
+    """Collects one run's span tree.
+
+    The recorder owns the epoch (both clocks are read once at
+    construction) and a stack of open spans; :meth:`span` nests under the
+    innermost open span, so the tree mirrors the dynamic call structure.
+    Recorders are cheap and single-threaded by design -- one per run (a
+    CLI invocation, a serve job, a bench case), never shared.
+    """
+
+    def __init__(self, meta: Optional[Dict[str, Any]] = None) -> None:
+        self.meta: Dict[str, Any] = dict(meta or {})
+        self.roots: List[Span] = []
+        self._stack: List[Span] = []
+        self._epoch = time.perf_counter()
+        self._epoch_cpu = time.process_time()
+
+    @contextmanager
+    def span(self, name: str, **attrs: Any) -> Iterator[Span]:
+        """Open a nested span; closes (and times) it on exit."""
+        record = Span(name, attrs,
+                      time.perf_counter() - self._epoch,
+                      time.process_time() - self._epoch_cpu)
+        parent = self._stack[-1] if self._stack else None
+        (parent.children if parent is not None else self.roots).append(record)
+        self._stack.append(record)
+        try:
+            yield record
+        finally:
+            record.wall = (time.perf_counter() - self._epoch) - record.start
+            record.cpu = ((time.process_time() - self._epoch_cpu)
+                          - record.start_cpu)
+            self._stack.pop()
+
+    # ------------------------------------------------------------------
+    # renderings
+    # ------------------------------------------------------------------
+    def to_tree(self) -> Dict[str, Any]:
+        """The deterministic JSON tree (sorted keys when serialized)."""
+        return {
+            "trace_schema": TRACE_SCHEMA,
+            "meta": dict(sorted(self.meta.items())),
+            "spans": [root.to_node() for root in self.roots],
+        }
+
+    def to_chrome(self) -> Dict[str, Any]:
+        """Chrome ``trace_event`` JSON (complete ``"X"`` events).
+
+        Timestamps are microseconds since the recorder epoch; ``cat`` is
+        the span-name prefix before the colon, so Perfetto can filter by
+        layer.  Load via ``chrome://tracing`` or https://ui.perfetto.dev.
+        """
+        pid = os.getpid()
+        events: List[Dict[str, Any]] = []
+
+        def emit(record: Span) -> None:
+            events.append({
+                "name": record.name,
+                "cat": record.name.split(":", 1)[0],
+                "ph": "X",
+                "ts": round(record.start * 1e6, 3),
+                "dur": round(record.wall * 1e6, 3),
+                "pid": pid,
+                "tid": 1,
+                "args": dict(sorted(record.attrs.items())),
+            })
+            for child in record.children:
+                emit(child)
+
+        for root in self.roots:
+            emit(root)
+        return {"traceEvents": events, "displayTimeUnit": "ms",
+                "otherData": dict(sorted(self.meta.items()))}
+
+
+# ----------------------------------------------------------------------
+# the active recorder
+# ----------------------------------------------------------------------
+def current() -> Optional[TraceRecorder]:
+    """The recorder installed in this context, if any."""
+    return _ACTIVE.get()
+
+
+@contextmanager
+def recording(recorder: TraceRecorder) -> Iterator[TraceRecorder]:
+    """Install ``recorder`` as the active recorder for the block."""
+    token = _ACTIVE.set(recorder)
+    try:
+        yield recorder
+    finally:
+        _ACTIVE.reset(token)
+
+
+@contextmanager
+def span(name: str, **attrs: Any) -> Iterator[Optional[Span]]:
+    """A span on the active recorder -- or a no-op when none is active.
+
+    Instrumented code treats the yielded value as optional::
+
+        with span("stage:generate") as sp:
+            ...
+            if sp is not None:
+                sp.set(digest=digest, cached=False)
+    """
+    recorder = _ACTIVE.get()
+    if recorder is None:
+        yield None
+        return
+    with recorder.span(name, **attrs) as record:
+        yield record
+
+
+# ----------------------------------------------------------------------
+# files and summaries
+# ----------------------------------------------------------------------
+def write_trace(recorder: TraceRecorder, path: str,
+                fmt: str = "json") -> None:
+    """Serialize a recorder to ``path`` as ``json`` (tree) or ``chrome``."""
+    if fmt == "json":
+        payload = recorder.to_tree()
+    elif fmt == "chrome":
+        payload = recorder.to_chrome()
+    else:
+        raise ValueError(f"unknown trace format {fmt!r}; "
+                         "expected 'json' or 'chrome'")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
+def load_trace(path: str) -> Dict[str, Any]:
+    """Load a trace file (either format) as its parsed JSON payload."""
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if not isinstance(payload, dict) or (
+            "spans" not in payload and "traceEvents" not in payload):
+        raise ValueError(f"{path} is not a repro trace "
+                         "(no 'spans' tree, no 'traceEvents' list)")
+    return payload
+
+
+def summarize(payload: Dict[str, Any]) -> Dict[str, Dict[str, float]]:
+    """Aggregate a trace by span name.
+
+    Returns ``{name: {count, wall_s, self_s, cpu_s}}``; ``self_s`` is
+    wall time not covered by child spans (tree input only -- Chrome
+    input has no nesting, so ``self_s`` equals ``wall_s`` there).
+    """
+    totals: Dict[str, Dict[str, float]] = {}
+
+    def bucket(name: str) -> Dict[str, float]:
+        return totals.setdefault(name, {"count": 0, "wall_s": 0.0,
+                                        "self_s": 0.0, "cpu_s": 0.0})
+
+    if "spans" in payload:
+        def walk(node: Dict[str, Any]) -> None:
+            entry = bucket(node["name"])
+            children = node.get("children", [])
+            entry["count"] += 1
+            entry["wall_s"] += node["wall_s"]
+            entry["cpu_s"] += node.get("cpu_s", 0.0)
+            entry["self_s"] += max(
+                0.0, node["wall_s"] - sum(child["wall_s"]
+                                          for child in children))
+            for child in children:
+                walk(child)
+
+        for root in payload["spans"]:
+            walk(root)
+    else:
+        for event in payload["traceEvents"]:
+            if event.get("ph") != "X":
+                continue
+            entry = bucket(event["name"])
+            seconds = event.get("dur", 0.0) / 1e6
+            entry["count"] += 1
+            entry["wall_s"] += seconds
+            entry["self_s"] += seconds
+            entry["cpu_s"] += 0.0
+    return totals
+
+
+def render_summary(payload: Dict[str, Any]) -> str:
+    """A deterministic text table of :func:`summarize`, for the CLI."""
+    totals = summarize(payload)
+    header = f"{'span':32s} {'count':>7s} {'wall s':>10s} " \
+             f"{'self s':>10s} {'cpu s':>10s}"
+    lines = [header, "-" * len(header)]
+    ordered = sorted(totals.items(),
+                     key=lambda item: (-item[1]["wall_s"], item[0]))
+    for name, entry in ordered:
+        lines.append(f"{name:32s} {int(entry['count']):7d} "
+                     f"{entry['wall_s']:10.4f} {entry['self_s']:10.4f} "
+                     f"{entry['cpu_s']:10.4f}")
+    return "\n".join(lines) + "\n"

@@ -25,11 +25,15 @@ serial vs parallel sweeps.
 from __future__ import annotations
 
 import dataclasses
+import time
 import weakref
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
 from .. import engine
+from ..obs import progress as obs_progress
+from ..obs.metrics import registry as obs_registry
+from ..obs.trace import Span, span as obs_span
 from ..circuit.synthesize import (CircuitImplementation, estimate_circuit_area,
                                   synthesize_circuit)
 from ..encoding.insertion import resolve_csc
@@ -168,6 +172,30 @@ def run_reduction(config: FlowConfig, sg: StateGraph
     return exploration.best, exploration, exploration.stats
 
 
+def _observe_stage(record: Optional[Span], stage: str, key: Optional[str],
+                   digest: str, cached: bool, seconds: float) -> None:
+    """Fold one stage outcome into the span/metrics/heartbeat sinks.
+
+    Pure observation: everything here reads the stage result, nothing
+    feeds back, so traced and untraced runs stay byte-identical.
+    """
+    if record is not None:
+        record.set(digest=digest, cached=cached)
+        if key is not None:
+            record.set(key=key)
+    outcome = "reused" if cached else "computed"
+    reg = obs_registry()
+    reg.counter(f"repro_stage_{outcome}_total",
+                f"Pipeline stages {outcome}.", stage=stage).inc()
+    if not cached:
+        reg.histogram("repro_stage_seconds",
+                      "Wall seconds per computed pipeline stage.",
+                      stage=stage).observe(seconds)
+    obs_progress.emit("stage", {"stage": stage, "event": outcome,
+                                "digest": digest[:12],
+                                "seconds": round(seconds, 4)}, force=True)
+
+
 def _execute(store: Optional[ArtifactStore], stage: str,
              config_slice: Dict[str, object],
              inputs: Callable[[], List[str]],
@@ -178,18 +206,28 @@ def _execute(store: Optional[ArtifactStore], stage: str,
     derivation (and the digesting behind it) only happens when a store is
     actually in play.
     """
-    key = None
-    if store is not None:
-        key = ArtifactStore.stage_key(stage, config_slice, inputs())
-        entry = store.get_entry(key, stage=stage)
-        if entry is not None:
-            return StageResult(stage, entry["payload"], entry["digest"],
-                               key, cached=True)
-    payload, live = compute()
-    digest = digest_payload(payload)
-    if store is not None:
-        store.put_entry(key, stage, payload, digest=digest)
-    return StageResult(stage, payload, digest, key, cached=False, live=live)
+    with obs_span("stage:" + stage) as record:
+        key = None
+        if store is not None:
+            key = ArtifactStore.stage_key(stage, config_slice, inputs())
+            entry = store.get_entry(key, stage=stage)
+            if entry is not None:
+                _observe_stage(record, stage, key, entry["digest"],
+                               cached=True, seconds=0.0)
+                return StageResult(stage, entry["payload"], entry["digest"],
+                                   key, cached=True)
+        obs_progress.emit("stage", {"stage": stage, "event": "start"},
+                          force=True)
+        started = time.perf_counter()
+        payload, live = compute()
+        seconds = time.perf_counter() - started
+        digest = digest_payload(payload)
+        if store is not None:
+            store.put_entry(key, stage, payload, digest=digest)
+        _observe_stage(record, stage, key, digest, cached=False,
+                       seconds=seconds)
+        return StageResult(stage, payload, digest, key, cached=False,
+                           live=live)
 
 
 @dataclass
@@ -338,6 +376,25 @@ def run_pipeline(config: FlowConfig,
     also how :func:`repro.flow.implement` evaluates an already-reduced
     graph under ``strategy="none"``).
     """
+    with obs_span("pipeline", strategy=config.strategy) as record:
+        result = _run_stages(config, spec=spec, stg=stg, stg_text=stg_text,
+                             initial_sg=initial_sg,
+                             extra_constraints=extra_constraints,
+                             name=name, store=store)
+        if record is not None:
+            record.set(name=result.name, stages=result.stage_status())
+        return result
+
+
+def _run_stages(config: FlowConfig,
+                spec=None,
+                stg=None,
+                stg_text: Optional[str] = None,
+                initial_sg: Optional[StateGraph] = None,
+                extra_constraints=(),
+                name: Optional[str] = None,
+                store: Optional[ArtifactStore] = None) -> PipelineResult:
+    """The stage chain behind :func:`run_pipeline` (span-wrapped there)."""
     results: Dict[str, StageResult] = {}
 
     # ------------------------------------------------------------ expand
@@ -482,26 +539,29 @@ def run_pipeline(config: FlowConfig,
     label = name or resolved_payload["name"]
     if config.verify:
         from ..verify.certificate import skipped_report, verify_netlist
-        circuit_section = results["synthesize"].payload["circuit"]
-        if circuit_section is None:
-            report = skipped_report(
-                label, "no synthesized circuit (unresolved CSC or "
-                "toggle specification)", model=config.verify_model)
+        with obs_span("stage:verify") as record:
+            started = time.perf_counter()
+            circuit_section = results["synthesize"].payload["circuit"]
+            if circuit_section is None:
+                report = skipped_report(
+                    label, "no synthesized circuit (unresolved CSC or "
+                    "toggle specification)", model=config.verify_model)
+                cached = False
+            else:
+                netlist = netlist_from_payload(circuit_section["netlist"],
+                                               config.resolved_library())
+                decoded = _decode_sg(resolved_payload, resolved_digest)
+                report, cached = verify_netlist(
+                    netlist, decoded, model=config.verify_model,
+                    max_states=config.verify_max_states, name=label,
+                    store=store)
             payload = report.to_dict()
+            digest = digest_payload(payload)
             results["verify"] = StageResult(
-                "verify", payload, digest_payload(payload), None,
-                cached=False, live=report)
-        else:
-            netlist = netlist_from_payload(circuit_section["netlist"],
-                                           config.resolved_library())
-            decoded = _decode_sg(resolved_payload, resolved_digest)
-            report, cached = verify_netlist(
-                netlist, decoded, model=config.verify_model,
-                max_states=config.verify_max_states, name=label, store=store)
-            payload = report.to_dict()
-            results["verify"] = StageResult(
-                "verify", payload, digest_payload(payload), None,
+                "verify", payload, digest, None,
                 cached=cached, live=report)
+            _observe_stage(record, "verify", None, digest, cached=cached,
+                           seconds=time.perf_counter() - started)
 
     return PipelineResult(config=config, name=label, results=results,
                           store=store,

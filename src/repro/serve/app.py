@@ -11,9 +11,12 @@ Routes::
     POST /synth              one design point (.g text or registry spec)
     POST /sweep              a whole grid, fanned into point jobs
     GET  /jobs/<id>          job status / result / cache provenance
+    GET  /jobs/<id>/trace    the job's span tree (worker-side trace)
     GET  /artifacts/<digest> any stored artifact, by content digest
     GET  /healthz            liveness
     GET  /stats              counters, queue depth, store stats
+    GET  /metrics            Prometheus text exposition (the one
+                             non-JSON response)
 
 ``POST`` bodies may set ``"wait": true`` to block (bounded by the
 request's ``timeout`` budget) until the job finishes -- handy for scripts
@@ -30,9 +33,11 @@ from __future__ import annotations
 
 import asyncio
 import json
+import time
 from typing import Dict, Optional, Tuple
 
 from .. import __version__
+from ..obs.logs import logger, structured
 from ..pipeline.store import ArtifactStore
 from .jobs import JobManager
 from .protocol import (ProtocolError, parse_sweep_request,
@@ -67,6 +72,7 @@ class ServeApp:
             default_timeout=default_timeout)
         self.max_verify_states = max_verify_states
         self.requests: Dict[str, int] = {}
+        self._log = logger("repro.serve")
 
     # ------------------------------------------------------------------
     # life cycle
@@ -84,33 +90,65 @@ class ServeApp:
     # ------------------------------------------------------------------
     #: The bounded per-route counter keys; anything else counts as
     #: "other" so probing traffic cannot grow the stats dict.
-    _ROUTES = ("GET /healthz", "GET /stats", "GET /jobs", "GET /artifacts",
-               "POST /synth", "POST /sweep")
+    _ROUTES = ("GET /healthz", "GET /stats", "GET /metrics", "GET /jobs",
+               "GET /artifacts", "POST /synth", "POST /sweep")
 
     async def dispatch(self, method: str, path: str,
-                       body: bytes = b"") -> Tuple[int, Dict[str, object]]:
-        """Route one request; returns ``(status, JSON payload)``."""
+                       body: bytes = b"") -> Tuple[int, object]:
+        """Route one request; returns ``(status, payload)``.
+
+        The payload is a JSON-ready dict on every route except
+        ``GET /metrics``, whose payload is the Prometheus text (a str).
+        """
         head = path.split("/", 2)[1] if "/" in path else path
         route = f"{method} /{head}"
         if route not in self._ROUTES:
             route = "other"
         self.requests[route] = self.requests.get(route, 0) + 1
+        self.manager.metrics.counter("repro_requests_total",
+                                     "HTTP requests by route.",
+                                     route=route).inc()
+        started = time.perf_counter()
         try:
-            return await self._route(method, path, body)
+            status, payload = await self._route(method, path, body)
         except ProtocolError as exc:
-            return exc.status, {"error": str(exc)}
+            status, payload = exc.status, {"error": str(exc)}
         except Exception as exc:  # noqa: BLE001 - the service must answer
-            return 500, {"error": f"{type(exc).__name__}: {exc}"}
+            status, payload = 500, {"error": f"{type(exc).__name__}: {exc}"}
+        self._log_request(method, path, status, payload,
+                          time.perf_counter() - started)
+        return status, payload
+
+    def _log_request(self, method: str, path: str, status: int,
+                     payload, seconds: float) -> None:
+        """One structured line per request (job digest + queue wait)."""
+        if not self._log.isEnabledFor(20):  # logging.INFO
+            return
+        fields: Dict[str, object] = {"method": method, "path": path,
+                                     "status": status,
+                                     "seconds": round(seconds, 6)}
+        if isinstance(payload, dict) and "job" in payload:
+            fields["job"] = str(payload["job"])[:12]
+            job = self.manager.get(str(payload["job"]))
+            if job is not None and job.queue_wait is not None:
+                fields["queue_wait"] = job.queue_wait
+        self._log.info(structured("request", fields))
 
     async def _route(self, method: str, path: str,
-                     body: bytes) -> Tuple[int, Dict[str, object]]:
+                     body: bytes) -> Tuple[int, object]:
         if method == "GET":
             if path == "/healthz":
                 return 200, {"status": "ok", "version": __version__}
             if path == "/stats":
                 return 200, await self._stats()
+            if path == "/metrics":
+                self.manager.refresh_gauges()
+                return 200, self.manager.metrics.render_prometheus()
             if path.startswith("/jobs/"):
-                return self._job_view(path[len("/jobs/"):])
+                rest = path[len("/jobs/"):]
+                if rest.endswith("/trace"):
+                    return self._job_trace(rest[:-len("/trace")])
+                return self._job_view(rest)
             if path.startswith("/artifacts/"):
                 return await self._artifact(path[len("/artifacts/"):])
         elif method == "POST":
@@ -186,6 +224,16 @@ class ServeApp:
         if job is None:
             return 404, {"error": f"unknown job {jid!r}"}
         return (200 if job.finished else 202), job.view()
+
+    def _job_trace(self, jid: str) -> Tuple[int, Dict[str, object]]:
+        job = self.manager.get(jid)
+        if job is None:
+            return 404, {"error": f"unknown job {jid!r}"}
+        if job.trace is None:
+            return 404, {"error": f"no trace for job {jid!r} "
+                                  "(not finished, failed, or the manager "
+                                  "runs with tracing off)"}
+        return 200, {"job": job.id, "trace": job.trace}
 
     async def _artifact(self, digest: str) -> Tuple[int, Dict[str, object]]:
         if self.store is None:

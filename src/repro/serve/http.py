@@ -64,11 +64,12 @@ async def _read_request(reader: asyncio.StreamReader):
     return method.upper(), path, headers, body
 
 
-def _response_bytes(status: int, body: bytes, keep_alive: bool) -> bytes:
+def _response_bytes(status: int, body: bytes, keep_alive: bool,
+                    content_type: str = "application/json") -> bytes:
     reason = _REASONS.get(status, "Unknown")
     connection = "keep-alive" if keep_alive else "close"
     head = (f"HTTP/1.1 {status} {reason}\r\n"
-            f"Content-Type: application/json\r\n"
+            f"Content-Type: {content_type}\r\n"
             f"Content-Length: {len(body)}\r\n"
             f"Connection: {connection}\r\n\r\n")
     return head.encode("latin-1") + body
@@ -91,8 +92,14 @@ async def _handle_connection(app: ServeApp,
             method, path, headers, body = request
             status, payload = await app.dispatch(method, path, body)
             keep_alive = headers.get("connection", "keep-alive") != "close"
-            writer.write(_response_bytes(status, json_bytes(payload),
-                                         keep_alive))
+            if isinstance(payload, str):  # GET /metrics: Prometheus text
+                response = payload.encode("utf-8")
+                content_type = "text/plain; version=0.0.4; charset=utf-8"
+            else:
+                response = json_bytes(payload)
+                content_type = "application/json"
+            writer.write(_response_bytes(status, response, keep_alive,
+                                         content_type))
             await writer.drain()
             if not keep_alive:
                 break

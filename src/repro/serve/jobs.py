@@ -43,6 +43,8 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Deque, Dict, List, Optional, Tuple
 
+from ..obs.logs import logger, structured
+from ..obs.metrics import MetricsRegistry
 from ..sweep.report import COLUMNS
 from ..sweep.runner import make_chunks
 from .protocol import job_id, sweep_task, task_group
@@ -68,6 +70,13 @@ class Job:
     result: Optional[Dict[str, object]] = None
     stages: Optional[Dict[str, object]] = None
     error: Optional[str] = None
+    #: The worker-side span tree (``GET /jobs/<id>/trace``), when the
+    #: manager runs with tracing on.  Observation only: never part of
+    #: ``result``.
+    trace: Optional[Dict[str, object]] = None
+    #: Monotonic stamps for queue accounting (run-dependent by design).
+    submitted: float = 0.0
+    queue_wait: Optional[float] = None
     #: Child job ids (sweep parents only), in grid order.
     children: List[str] = field(default_factory=list)
     #: Set once the job reaches a terminal status.
@@ -104,7 +113,8 @@ class JobManager:
                  store_root: Optional[str] = None,
                  workers: int = 1,
                  batch_size: int = 8,
-                 default_timeout: Optional[float] = None) -> None:
+                 default_timeout: Optional[float] = None,
+                 trace: bool = True) -> None:
         if workers < 0:
             raise ValueError("workers must be >= 0 (0 = in-process)")
         if batch_size < 1:
@@ -113,6 +123,11 @@ class JobManager:
         self.workers = workers
         self.batch_size = batch_size
         self.default_timeout = default_timeout
+        self.trace = trace
+        #: Per-manager registry (never the process default): two servers
+        #: in one process must not mix series.  Served by ``/metrics``.
+        self.metrics = MetricsRegistry()
+        self._log = logger("repro.serve")
         self.jobs: Dict[str, Job] = {}
         self.pending: Deque[str] = deque()
         self.stats: Dict[str, object] = {
@@ -179,9 +194,14 @@ class JobManager:
         existing = self.jobs.get(jid)
         if existing is not None and existing.status != "failed":
             self.stats["dedup_hits"] += 1
+            self.metrics.counter("repro_jobs_dedup_total",
+                                 "Submissions served by dedup.").inc()
             return existing, False
         job = Job(id=jid, kind=str(task["kind"]), task=task,
-                  group=task_group(task))
+                  group=task_group(task), submitted=time.monotonic())
+        self.metrics.counter("repro_jobs_submitted_total",
+                             "Jobs accepted into the queue.",
+                             kind=job.kind).inc()
         self.jobs[jid] = job
         self.stats["submitted"] += 1
         self._evict_history()
@@ -309,8 +329,14 @@ class JobManager:
                 if not chunk:
                     self._slots.release()
                     continue
+                now = time.monotonic()
+                wait_hist = self.metrics.histogram(
+                    "repro_queue_wait_seconds",
+                    "Seconds jobs spent queued before dispatch.")
                 for job in chunk:
                     job.status = "running"
+                    job.queue_wait = round(now - job.submitted, 6)
+                    wait_hist.observe(job.queue_wait)
                 self.stats["chunks"] += 1
                 task = asyncio.create_task(self._run_chunk(chunk))
                 self._chunk_tasks.add(task)
@@ -322,7 +348,8 @@ class JobManager:
         try:
             from .tasks import execute_chunk
             results = await loop.run_in_executor(
-                self._executor, execute_chunk, self.store_root, payload)
+                self._executor, execute_chunk, self.store_root, payload,
+                self.trace)
         except asyncio.CancelledError:
             raise
         except Exception as exc:  # pool died, broken pipe, ...
@@ -334,9 +361,9 @@ class JobManager:
         finally:
             self._slots.release()
             self._wakeup.set()
-        for jid, status, result, stages in results:
+        for jid, status, result, stages, trace in results:
             if status == "done":
-                self._finish(jid, "done", result, stages)
+                self._finish(jid, "done", result, stages, trace)
             else:
                 self.stats["tasks_failed"] += 1
                 self._finish(jid, "failed", result, None)
@@ -344,7 +371,8 @@ class JobManager:
     # ------------------------------------------------------------------
     # completion
     # ------------------------------------------------------------------
-    def _finish(self, jid: str, status: str, payload, stages) -> None:
+    def _finish(self, jid: str, status: str, payload, stages,
+                trace=None) -> None:
         job = self.jobs.get(jid)
         if job is None:
             return
@@ -355,14 +383,31 @@ class JobManager:
         if status == "done":
             job.result = payload
             job.stages = stages
+            if trace is not None:
+                job.trace = trace
             if job.kind != "sweep":
                 self.stats["tasks_executed"] += 1
                 for stage, state in (stages or {}).items():
                     counts = (self.stats["stage_reused"] if state == "cached"
                               else self.stats["stage_computed"])
                     counts[stage] = counts.get(stage, 0) + 1
+                    outcome = "reused" if state == "cached" else "computed"
+                    self.metrics.counter(
+                        f"repro_stage_{outcome}_total",
+                        f"Pipeline stages {outcome} by served jobs.",
+                        stage=stage).inc()
         else:
             job.error = str(payload)
+        self.metrics.counter("repro_jobs_finished_total",
+                             "Jobs that reached a terminal status.",
+                             kind=job.kind, status=status).inc()
+        if self._log.isEnabledFor(20):  # logging.INFO
+            fields = {"job": jid[:12], "kind": job.kind, "status": status}
+            if job.queue_wait is not None:
+                fields["queue_wait"] = job.queue_wait
+            if status == "failed":
+                fields["error"] = job.error
+            self._log.info(structured("job", fields))
         if job._deadline is not None:
             job._deadline.cancel()
             job._deadline = None
@@ -392,16 +437,32 @@ class JobManager:
         """The job registered under ``jid``, if any."""
         return self.jobs.get(jid)
 
+    def in_flight(self) -> int:
+        """Jobs currently executing (sweep parents excluded)."""
+        return sum(1 for job in self.jobs.values()
+                   if job.status == "running" and job.kind != "sweep")
+
+    def refresh_gauges(self) -> None:
+        """Bring the live-state gauges current (scrape/stats time)."""
+        self.metrics.gauge("repro_queue_depth",
+                           "Jobs waiting in the queue.").set(
+                               len(self.pending))
+        self.metrics.gauge("repro_jobs_in_flight",
+                           "Jobs currently executing.").set(self.in_flight())
+
     def snapshot(self) -> Dict[str, object]:
         """Run-dependent counters for the ``/stats`` surface."""
         by_status = {status: 0 for status in JOB_STATUSES}
         for job in self.jobs.values():
             by_status[job.status] += 1
+        self.refresh_gauges()
         return {
             "uptime_seconds": round(time.monotonic() - self._started, 3),
             "workers": self.workers,
             "batch_size": self.batch_size,
             "queue_depth": len(self.pending),
+            "in_flight": self.in_flight(),
             "jobs": by_status,
+            "metrics": self.metrics.snapshot(),
             **{key: value for key, value in self.stats.items()},
         }

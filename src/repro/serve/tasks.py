@@ -11,12 +11,19 @@ does -- that is the micro-batching amortization.
 Task failures are *data*, not exceptions: a task that raises comes back as
 a ``("failed", message)`` result so one bad request can never poison the
 rest of its chunk or kill the worker.
+
+Each task runs under its own :class:`~repro.obs.trace.TraceRecorder` (the
+manager asks for traces with ``trace=True``); the span tree travels back
+beside the result, tagged with the job digest, and is served by
+``GET /jobs/<id>/trace``.  Tracing is pure observation -- the ``result``
+element is byte-identical with tracing on or off.
 """
 
 from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
+from ..obs.trace import TraceRecorder, recording
 from ..pipeline.config import FlowConfig
 from ..pipeline.jobs import run_synth_job_with_status
 from ..pipeline.store import ArtifactStore
@@ -52,22 +59,37 @@ def run_task(task: Dict[str, object],
 
 
 def execute_chunk(store_root: Optional[str],
-                  chunk: List[Tuple[str, Dict[str, object]]]
-                  ) -> List[Tuple[str, str, object, Optional[Dict[str, str]]]]:
+                  chunk: List[Tuple[str, Dict[str, object]]],
+                  trace: bool = False) -> List[Tuple[str, str, object,
+                                                     Optional[Dict[str, str]],
+                                                     Optional[Dict[str,
+                                                                   object]]]]:
     """Evaluate one chunk of ``(job id, task)`` items in this process.
 
-    Returns ``(job id, status, payload-or-error, stage status)`` per item.
-    The store handle is rebuilt per call (directory-backed stores are
-    cheap and process-safe), so the same function serves the in-process
-    executor and every pool start method, ``spawn`` included.
+    Returns ``(job id, status, payload-or-error, stage status, trace)``
+    per item; ``trace`` is the job's span tree when tracing was requested
+    (``None`` otherwise, and on failures).  The store handle is rebuilt
+    per call (directory-backed stores are cheap and process-safe), so the
+    same function serves the in-process executor and every pool start
+    method, ``spawn`` included.
     """
     store = None if store_root is None else ArtifactStore(store_root)
-    results: List[Tuple[str, str, object, Optional[Dict[str, str]]]] = []
+    results: List[Tuple[str, str, object, Optional[Dict[str, str]],
+                        Optional[Dict[str, object]]]] = []
     for job, task in chunk:
+        recorder = (TraceRecorder(meta={"job": job,
+                                        "kind": str(task["kind"])})
+                    if trace else None)
         try:
-            payload, stages = run_task(task, store)
-            results.append((job, _DONE, payload, stages))
+            if recorder is not None:
+                with recording(recorder), recorder.span("job", job=job,
+                                                        kind=task["kind"]):
+                    payload, stages = run_task(task, store)
+            else:
+                payload, stages = run_task(task, store)
+            tree = None if recorder is None else recorder.to_tree()
+            results.append((job, _DONE, payload, stages, tree))
         except Exception as exc:  # noqa: BLE001 - failures travel as data
             results.append((job, _FAILED,
-                            f"{type(exc).__name__}: {exc}", None))
+                            f"{type(exc).__name__}: {exc}", None, None))
     return results
