@@ -1,0 +1,15 @@
+"""Symbolic scaling: the BDD crossover past the state-explosion wall.
+
+Thin shim over the registered case -- the workload, metrics and checks
+live in :mod:`repro.bench.cases.symbolic` (``symbolic_scaling``): the
+packed engine's structured budget exceedance vs the full symbolic
+USC/CSC check on ``micropipeline_chain_6`` (2^20 states), a
+states-vs-seconds curve over smaller family instances and the
+explicit-vs-symbolic verdict parity byte-compare.
+"""
+
+from repro.bench import pytest_case
+
+
+def test_symbolic_scaling(benchmark):
+    pytest_case("symbolic_scaling", benchmark)

@@ -13,11 +13,12 @@ shims over the registry.
 | ``tables``   | table1_lr, table2_mmu, ablation_search | ``bench_table*_*.py``, ``bench_ablation_search.py`` |
 | ``engine``   | engine_scaling | ``bench_engine_scaling.py`` |
 | ``frontier`` | frontier_scaling | (new: shared exploration core) |
+| ``symbolic`` | symbolic_scaling | (new: BDD crossover) |
 | ``sweeps``   | sweep_throughput | ``bench_sweep.py`` |
 | ``pipelines``| pipeline_resume | ``bench_pipeline.py`` |
 | ``serving``  | serve_throughput | ``bench_serve.py`` |
 | ``verifying``| verify_throughput | ``bench_verify.py`` |
 """
 
-from . import (figures, tables, engine, frontier, sweeps,  # noqa: F401
-               pipelines, serving, verifying)
+from . import (figures, tables, engine, frontier, symbolic,  # noqa: F401
+               sweeps, pipelines, serving, verifying)

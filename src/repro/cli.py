@@ -2,12 +2,13 @@
 
 Usage (also via ``python -m repro``)::
 
-    python -m repro check  spec.g              # implementability report
+    python -m repro check  spec.g [--engine auto|packed|tuples|symbolic]
     python -m repro sg     spec.g [--dot] [--max-states N] [--max-arcs N]
-                                   [--stubborn]
+                                   [--stubborn] [--engine ...] [--max-nodes N]
     python -m repro synth  spec.g [--full] [--no-reduce] [--keep li-,ri-]
                                    [-W 0.5] [--max-csc 4] [--store DIR]
                                    [--sg-max-states N] [--sg-max-arcs N]
+                                   [--engine ...]
     python -m repro reduce spec.g [-o out.g]   # reduce + re-derive an STG
     python -m repro verify spec.g [--strategies none,full] [--store DIR]
                                    [--model atomic|structural]
@@ -34,7 +35,11 @@ checks the synthesized circuit of every requested reduction strategy
 against its specification; ``sg`` and ``synth`` take exploration-budget
 knobs (``--max-states``/``--max-arcs``, ``--sg-max-states``/
 ``--sg-max-arcs``) that bound state-graph generation through one
-:class:`repro.explore.ExplorationBudget`; ``sweep``
+:class:`repro.explore.ExplorationBudget`; ``check``/``sg``/``synth``
+take ``--engine`` to pick the exploration core -- including the symbolic
+BDD engine (:mod:`repro.symbolic`), which computes reachable sets and
+coding verdicts without enumerating states and is budgeted in allocated
+BDD nodes (``--max-nodes``); ``sweep``
 runs the built-in benchmark registry through the whole Tables 1-2
 design-space grid in parallel; ``serve`` exposes the same flow as a
 long-running HTTP service with request deduplication and micro-batching
@@ -117,9 +122,28 @@ def _parse_keep(text: Optional[str]) -> List[tuple]:
     return [(items[i], items[i + 1]) for i in range(0, len(items), 2)]
 
 
+def _print_coding(report) -> None:
+    """Shared rendering of a cross-engine coding report."""
+    print(f"coding report for {report.name} (engine: {report.engine}):")
+    print(f"  states            : {report.states}")
+    print(f"  consistent        : {report.consistent}")
+    print(f"  USC / CSC         : {report.usc} / {report.csc}")
+    print(f"  USC pairs         : {report.usc_pair_count}")
+    print(f"  CSC conflicts     : {report.csc_conflict_count}")
+    if report.truncated:
+        print("  (witness lists above the limit were dropped)")
+
+
 def cmd_check(args: argparse.Namespace) -> int:
     stg = _read_spec(args.spec)
-    sg = generate_sg(stg)
+    if args.engine == "symbolic":
+        from .sg.properties import check_coding
+        report = check_coding(stg, engine="symbolic")
+        _print_coding(report)
+        print("  note: commutativity/persistency/deadlock checks need the "
+              "explicit engine")
+        return 0 if report.consistent and report.csc else 1
+    sg = generate_sg(stg, engine=args.engine)
     report = check_implementability(sg)
     print(f"model {stg.name}: {len(sg)} states, {sg.arc_count()} arcs")
     print(f"  consistent        : {report.consistent}")
@@ -135,13 +159,51 @@ def cmd_check(args: argparse.Namespace) -> int:
     return 0 if report.implementable else 1
 
 
+def _symbolic_sg(args: argparse.Namespace) -> int:
+    """``repro sg --engine symbolic``: reach + coding, no enumeration."""
+    from .explore import ExplorationBudget
+    from .explore.budget import BudgetExceeded
+    from .symbolic import SymbolicEncodingError, encode_stg, symbolic_reach
+    from .symbolic.csc import check_coding_symbolic
+
+    stg = _read_spec(args.spec)
+    budget = None
+    if args.max_nodes is not None:
+        budget = ExplorationBudget(max_nodes=args.max_nodes)
+    try:
+        encoding = encode_stg(stg)
+        run = symbolic_reach(encoding, budget=budget)
+        report = check_coding_symbolic(stg, run=run)
+    except BudgetExceeded as exc:
+        raise SystemExit(f"{exc.exceedance.diagnose('symbolic reachability')} "
+                         "(raise --max-nodes)")
+    except SymbolicEncodingError as exc:
+        raise SystemExit(str(exc))
+    mode = "chained passes" if run.chaining else "BFS levels"
+    print(f"symbolic reachability of {stg.name}: {run.state_count} states "
+          f"in {run.levels} {mode}")
+    print(f"  BDD nodes         : {run.bdd.size(run.reached)} reached set, "
+          f"{run.node_count} allocated")
+    print(f"  variables         : {len(encoding.place_vars)} places + "
+          f"{len(encoding.signal_vars)} signals (+ primed places)")
+    _print_coding(report)
+    return 0
+
+
 def cmd_sg(args: argparse.Namespace) -> int:
     from .sg.generator import GenerationBudgetError
 
+    if args.engine == "symbolic":
+        if args.dot or args.stubborn:
+            raise SystemExit("--engine symbolic computes the state set as a "
+                             "BDD; it cannot print states (--dot) or apply "
+                             "stubborn-set reduction")
+        return _symbolic_sg(args)
     try:
         sg = generate_sg(_read_spec(args.spec),
                          budget=_generation_budget(args),
-                         stubborn=args.stubborn)
+                         stubborn=args.stubborn,
+                         engine=args.engine)
     except GenerationBudgetError as exc:
         raise SystemExit(f"{exc.exceedance.diagnose('state graph')} "
                          "(raise --max-states/--max-arcs)")
@@ -184,6 +246,11 @@ def cmd_synth(args: argparse.Namespace) -> int:
     else:
         strategy = "best-first"
     store = ArtifactStore(args.store) if args.store else None
+    # --engine symbolic = symbolic coding pre-flight, explicit synthesis
+    # (the netlist needs the materialized state graph); packed/tuples
+    # select the marking-exploration core of the generation stage.
+    sg_engine = args.engine if args.engine in ("packed", "tuples") else "auto"
+    check_engine = "symbolic" if args.engine == "symbolic" else "auto"
     from .sg.generator import GenerationBudgetError
     try:
         flow = run_flow_stg(_read_spec(args.spec), strategy=strategy,
@@ -191,10 +258,14 @@ def cmd_synth(args: argparse.Namespace) -> int:
                             weight=args.weight, delays=delays,
                             max_csc_signals=args.max_csc,
                             sg_max_states=args.sg_max_states,
-                            sg_max_arcs=args.sg_max_arcs, store=store)
+                            sg_max_arcs=args.sg_max_arcs,
+                            sg_engine=sg_engine, check_engine=check_engine,
+                            store=store)
     except GenerationBudgetError as exc:
         raise SystemExit(f"{exc.exceedance.diagnose('state graph')} "
                          "(raise --sg-max-states/--sg-max-arcs)")
+    if flow.coding is not None:
+        _print_coding(flow.coding)
     report = flow.report
     print(f"states: {len(flow.initial_sg)} -> {len(flow.reduced_sg)} "
           "after reduction")
@@ -507,17 +578,34 @@ def build_parser() -> argparse.ArgumentParser:
 
     check = sub.add_parser("check", help="implementability report")
     check.add_argument("spec", help=".g specification file")
+    check.add_argument("--engine",
+                       choices=("auto", "packed", "tuples", "symbolic"),
+                       default="auto",
+                       help="checking engine: explicit state-graph cores "
+                            "(auto/packed/tuples) or the symbolic BDD path "
+                            "(coding properties only, no enumeration)")
     check.set_defaults(func=cmd_check)
 
     sg = sub.add_parser("sg", help="print the state graph")
     sg.add_argument("spec", help=".g specification file")
     sg.add_argument("--dot", action="store_true", help="GraphViz output")
+    sg.add_argument("--engine",
+                    choices=("auto", "packed", "tuples", "symbolic"),
+                    default="auto",
+                    help="exploration engine: auto tries the packed core "
+                         "and falls back to tuples; symbolic computes the "
+                         "reachable set as a BDD and prints a summary plus "
+                         "coding verdicts instead of the state listing")
     sg.add_argument("--max-states", type=int, default=None,
                     help="cap on admitted states (default: the generator's "
                     "200000-state budget); exceeding it is a structured "
                     "error, never a truncated graph")
     sg.add_argument("--max-arcs", type=int, default=None,
                     help="cap on traversed arcs (default: unbounded)")
+    sg.add_argument("--max-nodes", type=int, default=None,
+                    help="cap on allocated BDD nodes (--engine symbolic "
+                    "only; exceeding it is the same structured budget "
+                    "error)")
     sg.add_argument("--stubborn", action="store_true",
                     help="explore with the deadlock-preserving stubborn-set "
                     "reduction (a subset of the full state graph)")
@@ -550,6 +638,12 @@ def build_parser() -> argparse.ArgumentParser:
     synth.add_argument("--sg-max-arcs", type=int, default=None,
                        help="arc budget for SG generation "
                        "(default: unbounded)")
+    synth.add_argument("--engine",
+                       choices=("auto", "packed", "tuples", "symbolic"),
+                       default="auto",
+                       help="packed/tuples select the SG generation core; "
+                            "symbolic runs a BDD coding pre-flight (prints "
+                            "the verdicts) before the explicit flow")
     synth.add_argument("--store", metavar="DIR",
                        help="artifact store; warm runs reuse every pipeline "
                             "stage whose inputs didn't change")

@@ -37,12 +37,14 @@ __all__ = ["BudgetExceedance", "BudgetExceeded", "BudgetMeter",
 class BudgetExceedance:
     """Structured record of which resource ran out, and where.
 
-    ``resource`` is ``"states"``, ``"arcs"`` or ``"seconds"``; ``limit``
-    is the configured cap for that resource; ``states``/``arcs`` are the
-    counts admitted *within* budget when the exploration stopped (the
-    partial result is exactly that big).  ``seconds`` is the elapsed wall
-    clock when the budget tripped and ``level`` the BFS depth being
-    expanded at that moment -- diagnostic context carried for
+    ``resource`` is ``"states"``, ``"arcs"``, ``"nodes"`` or
+    ``"seconds"``; ``limit`` is the configured cap for that resource;
+    ``states``/``arcs`` are the counts admitted *within* budget when the
+    exploration stopped (the partial result is exactly that big).
+    ``nodes`` is the symbolic engine's allocated-BDD-node count, carried
+    only when a node budget was being metered.  ``seconds`` is the
+    elapsed wall clock when the budget tripped and ``level`` the BFS
+    depth being expanded at that moment -- diagnostic context carried for
     :meth:`diagnose`, deliberately absent from :meth:`describe` (whose
     text lands in deterministic certificate payloads and must not vary
     run to run).
@@ -54,6 +56,7 @@ class BudgetExceedance:
     arcs: int
     seconds: Optional[float] = None
     level: Optional[int] = None
+    nodes: Optional[int] = None
 
     def describe(self, subject: str = "exploration") -> str:
         """Deterministic one-line rendering, e.g. for exception text."""
@@ -70,6 +73,8 @@ class BudgetExceedance:
         """
         text = (f"{self.describe(subject)} after {self.states} states, "
                 f"{self.arcs} arcs")
+        if self.nodes is not None:
+            text += f", {self.nodes} BDD nodes"
         if self.seconds is not None:
             text += f", {self.seconds:.2f}s elapsed"
         if self.level is not None:
@@ -84,6 +89,8 @@ class BudgetExceedance:
             payload["seconds"] = round(self.seconds, 6)
         if self.level is not None:
             payload["level"] = self.level
+        if self.nodes is not None:
+            payload["nodes"] = self.nodes
         return payload
 
 
@@ -103,9 +110,12 @@ class ExplorationBudget:
     max_states: Optional[int] = None
     max_arcs: Optional[int] = None
     max_seconds: Optional[float] = None
+    #: Allocated-BDD-node cap, metered only by the symbolic engine
+    #: (:mod:`repro.symbolic.reach`); the explicit engines ignore it.
+    max_nodes: Optional[int] = None
 
     def __post_init__(self) -> None:
-        for name in ("max_states", "max_arcs"):
+        for name in ("max_states", "max_arcs", "max_nodes"):
             value = getattr(self, name)
             if value is not None and value < 0:
                 raise ValueError(f"{name} must be >= 0, got {value}")
@@ -117,7 +127,7 @@ class ExplorationBudget:
     def unbounded(self) -> bool:
         """True when nothing at all is capped."""
         return (self.max_states is None and self.max_arcs is None
-                and self.max_seconds is None)
+                and self.max_seconds is None and self.max_nodes is None)
 
     def meter(self) -> "BudgetMeter":
         """A fresh mutable meter (starts the wall clock, if any)."""
@@ -125,8 +135,12 @@ class ExplorationBudget:
 
     def to_payload(self) -> dict:
         """JSON-ready rendering (e.g. for config slices)."""
-        return {"max_states": self.max_states, "max_arcs": self.max_arcs,
-                "max_seconds": self.max_seconds}
+        payload = {"max_states": self.max_states, "max_arcs": self.max_arcs,
+                   "max_seconds": self.max_seconds}
+        # Omitted when unset so pre-symbolic renderings keep their bytes.
+        if self.max_nodes is not None:
+            payload["max_nodes"] = self.max_nodes
+        return payload
 
 
 class BudgetMeter:
@@ -139,12 +153,13 @@ class BudgetMeter:
     non-raising :meth:`states_exhausted` pre-check with the same counters.
     """
 
-    __slots__ = ("budget", "states", "arcs", "level", "_started")
+    __slots__ = ("budget", "states", "arcs", "nodes", "level", "_started")
 
     def __init__(self, budget: ExplorationBudget) -> None:
         self.budget = budget
         self.states = 0
         self.arcs = 0
+        self.nodes = 0
         #: BFS depth currently being expanded; the frontier engines keep
         #: it current so exceedance reports can say *where* they stopped.
         self.level = 0
@@ -158,7 +173,8 @@ class BudgetMeter:
         return BudgetExceeded(BudgetExceedance(
             resource=resource, limit=limit,
             states=self.states, arcs=self.arcs,
-            seconds=self.elapsed(), level=self.level))
+            seconds=self.elapsed(), level=self.level,
+            nodes=self.nodes or None))
 
     def admit_state(self) -> None:
         """Charge one newly admitted (distinct) state."""
@@ -174,6 +190,18 @@ class BudgetMeter:
         if limit is not None and self.arcs + count > limit:
             raise self._exceed("arcs", limit)
         self.arcs += count
+
+    def charge_nodes(self, total: int) -> None:
+        """Record the symbolic engine's allocated node total (absolute).
+
+        Unlike :meth:`admit_state` this is an absolute gauge, not an
+        increment: the BDD unique table only grows, so the engine reports
+        its current size and the meter raises once it passes the cap.
+        """
+        self.nodes = total
+        limit = self.budget.max_nodes
+        if limit is not None and total > limit:
+            raise self._exceed("nodes", limit)
 
     def states_exhausted(self, admitted: Optional[int] = None) -> bool:
         """Non-raising pre-check: would one more state exceed the budget?

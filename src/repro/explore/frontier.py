@@ -32,6 +32,7 @@ from typing import (Callable, Dict, Hashable, Iterator, List, Optional,
                     Tuple)
 
 from ..obs import progress as obs_progress
+from ..obs.logs import structured as obs_log
 from ..obs.metrics import registry as obs_registry
 from ..obs.trace import span as obs_span
 from ..petri.net import PackedNet, PackedOverflowError, PetriNet
@@ -180,6 +181,16 @@ def explore_packed(packed: PackedNet,
     :func:`explore_tuples`.
     """
     meter = (budget or _UNBOUNDED).meter()
+    if reducer is not None:
+        # The per-state path gives up the level-vectorized expansion; that
+        # degradation used to be silent, which made "why is stubborn-set
+        # exploration slower per state?" a recurring surprise.
+        obs_registry().counter(
+            "repro_frontier_fallback_per_state_total",
+            "Packed explorations that dropped to the per-state path "
+            "because a reducer was installed.").inc()
+        obs_log("frontier.fallback_per_state", engine="packed",
+                reason="reducer", transitions=len(packed.transition_names))
     pre_masks = packed.pre_masks
     post_masks = packed.post_masks
     index: Dict[int, int] = {packed.initial: 0}

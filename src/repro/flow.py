@@ -119,6 +119,9 @@ class FlowResult:
     report: ImplementationReport
     reduction_stats: Optional[ExplorationStats] = None
     pipeline: Optional[PipelineResult] = None
+    #: Coding report of the symbolic pre-flight check, present only when
+    #: the flow ran with ``check_engine="symbolic"``.
+    coding: Optional[object] = None
 
     @property
     def reduced_sg(self) -> StateGraph:
@@ -224,6 +227,8 @@ def run_flow_stg(stg: Optional[STG],
                  verify_max_states: Optional[int] = None,
                  sg_max_states: Optional[int] = None,
                  sg_max_arcs: Optional[int] = None,
+                 sg_engine: str = "auto",
+                 check_engine: str = "auto",
                  store: Optional[ArtifactStore] = None) -> FlowResult:
     """The Fig. 4 pipeline from a complete STG (stages 2-8).
 
@@ -232,7 +237,12 @@ def run_flow_stg(stg: Optional[STG],
     ``keep_conc``).  Passing a pre-generated ``initial_sg`` skips SG
     generation (sweep workers cache the SG per spec).
     ``sg_max_states``/``sg_max_arcs`` budget the generation stage
-    (:class:`repro.explore.ExplorationBudget` knobs).
+    (:class:`repro.explore.ExplorationBudget` knobs); ``sg_engine``
+    selects its marking-exploration core.  ``check_engine="symbolic"``
+    runs a symbolic coding pre-flight on the STG before any state is
+    enumerated -- the :class:`~repro.symbolic.csc.CodingReport` lands on
+    :attr:`FlowResult.coding` -- and then proceeds with the explicit flow
+    (synthesis itself needs the materialized state graph).
     """
     if initial_sg is None and stg is None:
         raise ValueError("run_flow_stg needs an STG or a pre-generated SG")
@@ -242,11 +252,18 @@ def run_flow_stg(stg: Optional[STG],
         max_csc_signals=max_csc_signals, library=library,
         resynthesise=resynthesise, verify=verify, verify_model=verify_model,
         verify_max_states=verify_max_states, sg_max_states=sg_max_states,
-        sg_max_arcs=sg_max_arcs)
+        sg_max_arcs=sg_max_arcs, sg_engine=sg_engine,
+        check_engine=check_engine)
     label = name or (stg.name if stg is not None else initial_sg.name)
+    coding = None
+    if config.check_engine == "symbolic" and stg is not None:
+        from .sg.properties import check_coding
+        coding = check_coding(stg, engine="symbolic", name=label)
     result = run_pipeline(config, stg=stg, initial_sg=initial_sg,
                           name=label, store=store)
-    return _flow_result(result, label, spec, stg)
+    flow = _flow_result(result, label, spec, stg)
+    flow.coding = coding
+    return flow
 
 
 def run_flow(spec: PartialSpec,

@@ -92,7 +92,12 @@ def compose(left: STG, right: STG, name: Optional[str] = None) -> STG:
                 name_ = f"{dummy_name}/{i}"
             result.net.add_transition(name_, None)
         else:
-            event = fresh(event.base)
+            # Keep a component's own instance index when it is free:
+            # renumbering from declaration order would make the result's
+            # transition names depend on arc declaration order, which
+            # breaks seed-invariance of multi-instance cells.
+            if not (event.instance and str(event) not in used_names):
+                event = fresh(event.base)
             name_ = str(event)
             result.net.add_transition(name_, event)
         used_names.add(name_)
@@ -108,6 +113,11 @@ def compose(left: STG, right: STG, name: Optional[str] = None) -> STG:
             key = _base_key(stg.event_of(transition))
             if key is not None and key[0] in shared:
                 table.setdefault(key, []).append(transition)
+        for instances in table.values():
+            # Fusion products are renumbered in product order; sort the
+            # factors by instance index so that order (and hence the
+            # fused names) is independent of declaration order.
+            instances.sort(key=lambda t, s=stg: s.event_of(t).instance)
 
     # Private (or dummy) transitions from each side.
     for side, stg in (("L", left), ("R", right)):

@@ -33,10 +33,10 @@ from ..timing.delays import TABLE1_DELAYS, DelayModel
 from .hashing import digest_payload, fraction_text
 
 __all__ = [
-    "DEFAULT_VERIFY_MAX_STATES", "STAGE_ORDER", "STRATEGIES",
-    "STRATEGY_DEFAULTS", "VERIFY_MODELS", "FlowConfig", "canonical_keep",
-    "delays_from_payload", "delays_payload", "library_name",
-    "register_library", "resolve_library",
+    "CHECK_ENGINES", "DEFAULT_VERIFY_MAX_STATES", "SG_ENGINES",
+    "STAGE_ORDER", "STRATEGIES", "STRATEGY_DEFAULTS", "VERIFY_MODELS",
+    "FlowConfig", "canonical_keep", "delays_from_payload", "delays_payload",
+    "library_name", "register_library", "resolve_library",
 ]
 
 KeepPairs = Tuple[Tuple[str, str], ...]
@@ -61,6 +61,16 @@ STRATEGY_DEFAULTS: Dict[str, Tuple[Optional[int], Optional[int]]] = {
 DEFAULT_VERIFY_MAX_STATES = 1_000_000
 
 VERIFY_MODELS = ("atomic", "structural")
+
+#: Marking-exploration cores for SG generation: ``auto`` tries the packed
+#: engine and falls back to tuples, the others force one core.  The
+#: symbolic engine never materializes a state graph, so it is not an SG
+#: engine; see :data:`CHECK_ENGINES`.
+SG_ENGINES = ("auto", "packed", "tuples")
+
+#: Engines for coding (consistency/USC/CSC) checks.  ``symbolic`` runs
+#: the BDD path (:mod:`repro.symbolic`), which never enumerates states.
+CHECK_ENGINES = ("auto", "packed", "tuples", "symbolic")
 
 #: Named libraries a config can reference.  Library objects are not
 #: serializable, so configs carry the *name*; custom libraries register
@@ -169,6 +179,12 @@ class FlowConfig:
     #: ``None`` keeps the generator's historical default state cap.
     sg_max_states: Optional[int] = None
     sg_max_arcs: Optional[int] = None
+    #: Marking-exploration core for SG generation (:data:`SG_ENGINES`)
+    #: and engine for coding checks run on this config's behalf
+    #: (:data:`CHECK_ENGINES`).  The defaults reproduce the historical
+    #: behaviour byte for byte.
+    sg_engine: str = "auto"
+    check_engine: str = "auto"
 
     def __post_init__(self) -> None:
         if self.strategy not in STRATEGIES:
@@ -177,6 +193,12 @@ class FlowConfig:
         if self.verify_model not in VERIFY_MODELS:
             raise ValueError(f"unknown verify model {self.verify_model!r}; "
                              f"expected one of {VERIFY_MODELS}")
+        if self.sg_engine not in SG_ENGINES:
+            raise ValueError(f"unknown SG engine {self.sg_engine!r}; "
+                             f"expected one of {SG_ENGINES}")
+        if self.check_engine not in CHECK_ENGINES:
+            raise ValueError(f"unknown check engine {self.check_engine!r}; "
+                             f"expected one of {CHECK_ENGINES}")
 
     @staticmethod
     def create(strategy: str = "best-first",
@@ -194,7 +216,9 @@ class FlowConfig:
                verify_model: str = "atomic",
                verify_max_states: Optional[int] = None,
                sg_max_states: Optional[int] = None,
-               sg_max_arcs: Optional[int] = None) -> "FlowConfig":
+               sg_max_arcs: Optional[int] = None,
+               sg_engine: str = "auto",
+               check_engine: str = "auto") -> "FlowConfig":
         """Build a config from flow-style arguments, normalizing as it goes.
 
         Accepts a :class:`Library` object or name for ``library`` and
@@ -225,7 +249,9 @@ class FlowConfig:
             sg_max_states=(None if sg_max_states is None
                            else int(sg_max_states)),
             sg_max_arcs=(None if sg_max_arcs is None
-                         else int(sg_max_arcs)))
+                         else int(sg_max_arcs)),
+            sg_engine=sg_engine,
+            check_engine=check_engine)
 
     def replace(self, **changes) -> "FlowConfig":
         """A copy with the given fields changed (keep_conc canonicalized)."""
@@ -272,6 +298,8 @@ class FlowConfig:
             "verify_max_states": self.verify_max_states,
             "sg_max_states": self.sg_max_states,
             "sg_max_arcs": self.sg_max_arcs,
+            "sg_engine": self.sg_engine,
+            "check_engine": self.check_engine,
         }
 
     @staticmethod
@@ -295,7 +323,11 @@ class FlowConfig:
             # Absent in payloads serialized before the exploration-core
             # budgets existed; missing means "generator default".
             sg_max_states=payload.get("sg_max_states"),
-            sg_max_arcs=payload.get("sg_max_arcs"))
+            sg_max_arcs=payload.get("sg_max_arcs"),
+            # Absent before the engine knobs existed; missing means the
+            # historical auto behaviour.
+            sg_engine=payload.get("sg_engine", "auto"),
+            check_engine=payload.get("check_engine", "auto"))
 
     def to_json(self) -> str:
         """The payload as deterministic, sorted JSON text."""
@@ -328,12 +360,16 @@ class FlowConfig:
         if stage == "expand":
             return {"phases": self.phases}
         if stage == "generate":
-            # Default budgets key exactly like the pre-budget era, so a
-            # warm store keeps serving every artifact it already holds.
-            if self.sg_max_states is None and self.sg_max_arcs is None:
-                return {}
-            return {"max_states": self.sg_max_states,
-                    "max_arcs": self.sg_max_arcs}
+            # Default budgets and engine key exactly like the pre-budget
+            # era, so a warm store keeps serving every artifact it
+            # already holds.
+            slice_: Dict[str, object] = {}
+            if self.sg_max_states is not None or self.sg_max_arcs is not None:
+                slice_ = {"max_states": self.sg_max_states,
+                          "max_arcs": self.sg_max_arcs}
+            if self.sg_engine != "auto":
+                slice_["engine"] = self.sg_engine
+            return slice_
         if stage == "reduce":
             if self.strategy == "none":
                 return {"strategy": "none"}

@@ -435,7 +435,9 @@ def _run_stages(config: FlowConfig,
                             else config.sg_max_states),
                 max_arcs=config.sg_max_arcs)
             return (sg_to_payload(generate_sg(parse_stg(text),
-                                              budget=budget)), None)
+                                              budget=budget,
+                                              engine=config.sg_engine)),
+                    None)
 
         results["generate"] = _execute(
             store, "generate", generate_slice,

@@ -98,7 +98,8 @@ class _ParityUnionFind:
 def generate_sg(stg: STG, limit: int = DEFAULT_MAX_STATES,
                 name: Optional[str] = None, *,
                 budget: Optional[ExplorationBudget] = None,
-                stubborn: bool = False) -> StateGraph:
+                stubborn: bool = False,
+                engine: str = "auto") -> StateGraph:
     """Build the state graph of an STG.
 
     For purely rise/fall STGs the states are the reachable markings and the
@@ -115,10 +116,23 @@ def generate_sg(stg: STG, limit: int = DEFAULT_MAX_STATES,
     *not* the full state graph and is meant for reachability/deadlock
     questions, not synthesis).
 
+    ``engine`` selects the marking-exploration core for rise/fall specs:
+    ``"auto"`` tries the packed level-vectorized engine and falls back to
+    the tuple engine, ``"packed"`` requires the packed engine (raises
+    :class:`StateGraphError` outside the 1-safe regime), ``"tuples"``
+    skips the packed attempt.  Toggle STGs always unfold -- the engine
+    knob does not apply to the unfolded path.  The symbolic engine never
+    materializes a state graph; see
+    :func:`repro.sg.properties.check_coding` for symbolic verdicts.
+
     Raises :class:`ConsistencyError` when no consistent encoding exists and
     :class:`StateGraphError` when the STG still contains dummy transitions
     (refine them away before synthesis).
     """
+    if engine not in ("auto", "packed", "tuples"):
+        raise StateGraphError(
+            f"unknown SG engine {engine!r}; expected 'auto', 'packed' or "
+            "'tuples'")
     if budget is None:
         budget = ExplorationBudget(max_states=limit)
     has_toggle = False
@@ -145,13 +159,20 @@ def generate_sg(stg: STG, limit: int = DEFAULT_MAX_STATES,
     names = net.transition_names
     run = None
     try:
-        packed = net.compile_packed()
+        packed = net.compile_packed() if engine != "tuples" else None
+        if packed is None and engine == "packed":
+            raise StateGraphError(
+                f"STG {stg.name!r} is outside the packed regime (weighted "
+                "arcs or multi-token places); use engine='auto' or "
+                "'tuples'")
         if packed is not None:
             reducer = stubborn_reducer(packed) if stubborn else None
             try:
                 run = explore_packed(packed, budget=budget, reducer=reducer)
                 markings = [packed.unpack(row) for row in run.states]
             except PackedOverflowError:
+                if engine == "packed":
+                    raise
                 run = None
         if run is None:
             run = explore_tuples(net, budget=budget)

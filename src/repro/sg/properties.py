@@ -13,10 +13,15 @@ witnesses, which the validity checker and the test suite both use.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Set, Tuple
 
 from ..petri.stg import Direction, SignalKind
-from .graph import State, StateGraph
+from .graph import State, StateGraph, StateGraphError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations
+    from ..explore.budget import ExplorationBudget
+    from ..petri.stg import STG
+    from ..symbolic.csc import CodingReport
 
 
 @dataclass(frozen=True)
@@ -313,3 +318,90 @@ def check_implementability(sg: StateGraph) -> ImplementabilityReport:
         deadlock_free=not deadlock_states(sg),
         csc_conflict_count=len(conflicts),
     )
+
+
+def _marking_tuple(state: State) -> Tuple[int, ...]:
+    """The marking tuple of a generator-built state.
+
+    Rise/fall state graphs use the marking itself as the state; unfolded
+    (2-phase) graphs use ``(marking, values)`` pairs.  Hand-built graphs
+    with opaque states carry no marking and cannot feed a coding report.
+    """
+    if isinstance(state, tuple):
+        if (len(state) == 2 and isinstance(state[0], tuple)
+                and isinstance(state[1], tuple)):
+            return state[0]
+        return state
+    raise StateGraphError(
+        f"state {state!r} carries no marking; coding reports need "
+        "generator-built state graphs")
+
+
+def coding_report(sg: StateGraph, witness_limit: Optional[int] = None,
+                  engine: str = "explicit") -> "CodingReport":
+    """Render the explicit consistency/USC/CSC verdicts canonically.
+
+    Returns the same :class:`~repro.symbolic.csc.CodingReport` the
+    symbolic engine produces, with byte-identical
+    :meth:`~repro.symbolic.csc.CodingReport.to_payload` on the same STG
+    -- witness pairs are decoded to (code, marking, excitation) records
+    under one canonical order, and witness lists above ``witness_limit``
+    are dropped by the shared truncation rule.  The cross-engine parity
+    suite pins this equality.
+    """
+    from ..symbolic.csc import (DEFAULT_WITNESS_LIMIT, CodingReport,
+                                canonical_conflict, canonical_pair,
+                                sort_conflicts, sort_pairs)
+    limit = DEFAULT_WITNESS_LIMIT if witness_limit is None else witness_limit
+    pairs = usc_conflicts(sg)
+    conflicts = csc_conflicts(sg)
+    truncated = len(pairs) > limit or len(conflicts) > limit
+    pair_payloads: List[dict] = []
+    conflict_payloads: List[dict] = []
+    if not truncated:
+        pair_payloads = sort_pairs([
+            canonical_pair(sg.code_of(a), _marking_tuple(a),
+                           _marking_tuple(b))
+            for a, b in pairs])
+        conflict_payloads = sort_conflicts([
+            canonical_conflict(c.code,
+                               _marking_tuple(c.state_a), c.excited_a,
+                               _marking_tuple(c.state_b), c.excited_b)
+            for c in conflicts])
+    return CodingReport(
+        name=sg.name,
+        engine=engine,
+        states=len(sg),
+        consistent=is_consistent(sg),
+        usc=not pairs,
+        csc=not conflicts,
+        usc_pair_count=len(pairs),
+        csc_conflict_count=len(conflicts),
+        conflicts=conflict_payloads,
+        usc_pairs=pair_payloads,
+        truncated=truncated)
+
+
+def check_coding(stg: "STG", engine: str = "auto",
+                 budget: Optional["ExplorationBudget"] = None,
+                 witness_limit: Optional[int] = None,
+                 name: Optional[str] = None) -> "CodingReport":
+    """Check consistency/USC/CSC of an STG on a selectable engine.
+
+    ``engine="symbolic"`` runs the BDD path
+    (:func:`repro.symbolic.csc.check_coding_symbolic`) -- no state
+    enumeration, budget metered in BDD nodes and seconds.  The explicit
+    engines (``"auto"``/``"packed"``/``"tuples"``) generate the state
+    graph first and render its verdicts.  All engines return the same
+    canonical :class:`~repro.symbolic.csc.CodingReport`.
+    """
+    if engine == "symbolic":
+        from ..symbolic.csc import DEFAULT_WITNESS_LIMIT, \
+            check_coding_symbolic
+        limit = DEFAULT_WITNESS_LIMIT if witness_limit is None \
+            else witness_limit
+        return check_coding_symbolic(stg, budget=budget,
+                                     witness_limit=limit, name=name)
+    from .generator import generate_sg
+    sg = generate_sg(stg, name=name, budget=budget, engine=engine)
+    return coding_report(sg, witness_limit=witness_limit, engine=engine)

@@ -16,7 +16,7 @@ exploration engine iterates in -- without changing the behaviour, so
 seed-invariance of canonical SG payloads is a meaningful equivalence
 check, not a tautology.
 
-Two shapes:
+Four shapes:
 
 * ``fifo_chain`` -- one-place FIFO cells (the suite's ``fifo_cell``
   handshake, relabelled per stage): strictly sequential inside a cell,
@@ -24,6 +24,14 @@ Two shapes:
 * ``micropipeline_chain`` -- two-phase-coupled micropipeline stages with
   an explicit full/empty capacity place per cell (the suite's
   ``micropipeline`` shape), giving denser per-stage concurrency.
+* ``counter`` -- a divide-by-two ripple counter built from two-phase
+  toggle cells: stage *i* toggles ``c{i+1}`` once per two toggles of
+  ``c{i}``.  Toggle signals force the unfolded explicit path, so this
+  family exercises the ``(marking, values)`` state representation.
+* ``arbiter_tree`` -- a balanced binary tree of two-way mutex arbiters
+  over ``N`` handshake clients (``N`` a power of two); requests
+  propagate to a root granter, each node serializes its two children
+  through an explicit mutex place.
 """
 
 from __future__ import annotations
@@ -36,8 +44,9 @@ from ..petri.compose import compose_all
 from ..petri.parser import parse_stg
 from ..petri.stg import STG
 
-__all__ = ["FAMILIES", "family_names", "fifo_chain", "load_family",
-           "micropipeline_chain", "parse_family_name"]
+__all__ = ["FAMILIES", "arbiter_tree", "counter", "family_names",
+           "fifo_chain", "load_family", "micropipeline_chain",
+           "parse_family_name"]
 
 
 def _cell(model: str, inputs: str, outputs: str, arcs: List[str],
@@ -77,6 +86,52 @@ def _micropipeline_cell(i: int, rng: random.Random) -> STG:
                  f"!{l_req} !{l_ack} !{r_req} !{r_ack}", rng)
 
 
+def _counter_cell(i: int, rng: random.Random) -> STG:
+    c, d = f"c{i}", f"c{i + 1}"
+    a, b = f"ph_a{i}", f"ph_b{i}"
+    q, f = f"pend{i}", f"free{i}"
+    # a/b alternate the two input-toggle instances (divide-by-two phase);
+    # the second toggle needs the output slot free and arms the output
+    # toggle, so stage i+1 sees exactly one c{i+1}~ per two c{i}~.
+    arcs = [f"{a} {c}~/1", f"{c}~/1 {b}",
+            f"{b} {c}~/2", f"{f} {c}~/2",
+            f"{c}~/2 {a}", f"{c}~/2 {q}",
+            f"{q} {d}~", f"{d}~ {f}"]
+    return _cell(f"counter{i}", c, d, arcs, f"{a} {f}",
+                 f"!{c} !{d}", rng)
+
+
+def _arbiter_cell(j: int, rng: random.Random) -> STG:
+    # Heap indexing: node j arbitrates children 2j and 2j+1 toward its
+    # parent channel (r{j}, g{j}).  Instance /k tags which side holds
+    # the mutex; the side's closed client loop rides along so leaf
+    # channels need no extra cells.
+    mutex = f"m{j}"
+    arcs: List[str] = []
+    inputs, outputs, marking = [f"g{j}"], [f"r{j}"], [mutex]
+    for k, c in ((1, 2 * j), (2, 2 * j + 1)):
+        arcs += [f"r{c}+ r{j}+/{k}", f"{mutex} r{j}+/{k}",
+                 f"r{j}+/{k} g{j}+/{k}", f"g{j}+/{k} g{c}+",
+                 f"g{c}+ r{c}-", f"r{c}- r{j}-/{k}",
+                 f"r{j}-/{k} g{j}-/{k}", f"g{j}-/{k} g{c}-",
+                 f"g{c}- {mutex}", f"g{c}- r{c}+"]
+        inputs.append(f"r{c}")
+        outputs.append(f"g{c}")
+        marking.append(f"<g{c}-,r{c}+>")
+    signals = [f"r{2 * j}", f"g{2 * j}", f"r{2 * j + 1}",
+               f"g{2 * j + 1}", f"r{j}", f"g{j}"]
+    return _cell(f"arbiter{j}", " ".join(inputs), " ".join(outputs),
+                 arcs, " ".join(marking),
+                 " ".join(f"!{s}" for s in signals), rng)
+
+
+def _grant_cell(rng: random.Random) -> STG:
+    # The root's environment: grants every request unconditionally.
+    arcs = ["r1+ g1+", "g1+ r1-", "r1- g1-", "g1- r1+"]
+    return _cell("grant_root", "r1", "g1", arcs, "<g1-,r1+>",
+                 "!r1 !g1", rng)
+
+
 def _chain(kind: str, cell: Callable[[int, random.Random], STG],
            stages: int, seed: int, name: str = None) -> STG:
     if stages < 1:
@@ -99,7 +154,30 @@ def micropipeline_chain(stages: int, seed: int = 0,
                   name)
 
 
+def counter(stages: int, seed: int = 0, name: str = None) -> STG:
+    """An ``stages``-deep divide-by-two toggle ripple counter."""
+    return _chain("counter", _counter_cell, stages, seed, name)
+
+
+def arbiter_tree(leaves: int, seed: int = 0, name: str = None) -> STG:
+    """A balanced mutex-arbiter tree over ``leaves`` clients.
+
+    ``leaves`` must be a power of two and at least 2; the tree has
+    ``leaves - 1`` arbiter nodes plus a root granter.
+    """
+    if leaves < 2 or leaves & (leaves - 1):
+        raise ValueError(
+            f"arbiter_tree needs a power-of-two leaf count >= 2, "
+            f"got {leaves}")
+    rng = random.Random(("arbiter_tree", leaves, seed).__repr__())
+    cells = [_arbiter_cell(j, rng) for j in range(1, leaves)]
+    cells.append(_grant_cell(rng))
+    return compose_all(cells, name=name or f"arbiter_tree_{leaves}")
+
+
 FAMILIES: Dict[str, Callable[..., STG]] = {
+    "arbiter_tree": arbiter_tree,
+    "counter": counter,
     "fifo_chain": fifo_chain,
     "micropipeline_chain": micropipeline_chain,
 }

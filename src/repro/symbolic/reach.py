@@ -1,0 +1,209 @@
+"""Budgeted symbolic reachability: the frontier-image fixpoint.
+
+The symbolic sibling of :func:`repro.explore.frontier.explore_packed`:
+the same level discipline (expand the whole frontier, subtract what is
+already reached, repeat), the same
+:class:`~repro.explore.budget.ExplorationBudget` accounting and the same
+structured :class:`~repro.explore.budget.BudgetExceeded` on exhaustion
+-- but the frontier is a BDD, so a level's cost follows the *structure*
+of the state set, not its cardinality.  Budgets meter what the engine
+actually spends: allocated BDD nodes (``max_nodes``, charged through the
+manager's grow hook so even one runaway image step trips it) and wall
+clock (``max_seconds``); ``max_states`` is an explicit-enumeration
+notion and is deliberately not metered here.
+
+The image of a frontier is computed per transition from the structural
+pieces of :class:`~repro.symbolic.encode.SymbolicTransition`::
+
+    S  = frontier AND enabled_t          -- states that fire t
+    --  S AND overflow_t must be empty   -- else not 1-safe
+    T  = exists (rewritten vars) . S     -- forget the old values
+    R' = T AND effect_t                  -- fix the new ones
+
+Toggle transitions split ``S`` on their signal variable first and apply
+the two flips separately.  Two expansion modes share this step:
+
+* ``chaining=False`` -- strict breadth-first: every level unions the
+  one-step images of the previous frontier, so ``levels`` is the BFS
+  depth, matching the explicit engines level for level.
+* ``chaining=True`` -- each pass sweeps the transitions forward then
+  backward over the *whole* reached set, folding every image straight
+  back into the working set, so one pass can ripple a token through a
+  whole pipeline in either direction.  The reached *set* is identical;
+  only the pass structure (and speed -- chained passes converge in far
+  fewer rounds than diameter-many BFS levels, and images of the stable
+  reached set hit the operation caches hard) differs.
+
+Both modes run a fixed, data-independent op sequence over dict-only
+structures, so node ids -- and therefore node counts and every rendered
+payload -- are byte-stable across hash seeds.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..explore.budget import BudgetMeter, ExplorationBudget
+from ..obs import progress as obs_progress
+from ..obs.metrics import registry as obs_registry
+from ..obs.trace import span as obs_span
+from .bdd import FALSE, BDD
+from .encode import SymbolicEncoding, SymbolicOverflowError
+
+__all__ = ["SymbolicReachability", "symbolic_reach"]
+
+_UNBOUNDED = ExplorationBudget()
+
+
+@dataclass
+class SymbolicReachability:
+    """The reachable state set of one symbolic run.
+
+    ``reached`` is the BDD of reachable (marking, signal-values) states
+    over ``encoding.state_vars``; ``state_count`` its exact model count
+    (= the explicit engine's state count); ``levels`` the number of
+    expansion passes; ``level_stats`` one record per pass with the
+    frontier's node size and the pass's image wall clock (the obs/bench
+    "image-step timings per level").
+    """
+
+    encoding: SymbolicEncoding
+    reached: int
+    state_count: int
+    levels: int
+    chaining: bool
+    node_count: int
+    level_stats: List[Dict[str, object]] = field(default_factory=list)
+
+    @property
+    def bdd(self) -> BDD:
+        return self.encoding.bdd
+
+
+def _image(bdd: BDD, frontier: int, transition) -> int:
+    """One transition's successor set (see the module docstring)."""
+    fires = bdd.apply_and(frontier, transition.enabled)
+    if fires == FALSE:
+        return FALSE
+    if transition.overflow != FALSE \
+            and bdd.apply_and(fires, transition.overflow) != FALSE:
+        raise SymbolicOverflowError(
+            f"firing {transition.name!r} leaves the 1-safe regime")
+    if transition.wrong is None:  # toggle: split on the signal bit
+        sig = transition.signal_var
+        image = FALSE
+        for value in (0, 1):
+            half = bdd.restrict(fires, sig, value)
+            if half == FALSE:
+                continue
+            moved = bdd.exists(half, transition.quant)
+            moved = bdd.apply_and(moved, transition.effect)
+            image = bdd.apply_or(
+                image, bdd.apply_and(moved, bdd.literal(sig, 1 - value)))
+        return image
+    # Rise/fall: the rewritten variables always include the signal bit.
+    moved = bdd.exists(fires, transition.quant)
+    return bdd.apply_and(moved, transition.effect)
+
+
+def _heartbeat(meter: BudgetMeter, level: int, frontier_nodes: int,
+               total_nodes: int, force: bool = False) -> None:
+    if not obs_progress.active():
+        return
+    fields: Dict[str, object] = {
+        "engine": "symbolic", "level": level,
+        "frontier_nodes": frontier_nodes, "bdd_nodes": total_nodes,
+    }
+    limit = meter.budget.max_nodes
+    if limit is not None:
+        fields["budget_remaining"] = int(limit) - total_nodes
+    obs_progress.emit("frontier", fields, force=force)
+
+
+def _record_run(levels: int, nodes: int, states: int) -> None:
+    reg = obs_registry()
+    reg.counter("repro_explore_runs_total",
+                "Completed reachability runs.", engine="symbolic").inc()
+    reg.counter("repro_explore_levels_total",
+                "BFS levels expanded by reachability runs.",
+                engine="symbolic").inc(levels)
+    reg.counter("repro_symbolic_nodes_total",
+                "BDD nodes allocated by symbolic reachability runs."
+                ).inc(nodes)
+    reg.counter("repro_symbolic_states_total",
+                "States covered (model count) by symbolic reachability "
+                "runs.").inc(states)
+
+
+def symbolic_reach(encoding: SymbolicEncoding,
+                   budget: Optional[ExplorationBudget] = None,
+                   chaining: bool = True) -> SymbolicReachability:
+    """Compute the reachable states of an encoded STG.
+
+    Raises :class:`~repro.explore.budget.BudgetExceeded` (resource
+    ``"nodes"`` or ``"seconds"``) when the budget runs out and
+    :class:`~repro.symbolic.encode.SymbolicOverflowError` when the net
+    leaves the 1-safe regime.
+    """
+    bdd = encoding.bdd
+    meter = (budget or _UNBOUNDED).meter()
+    meter.charge_nodes(bdd.node_count)
+    bdd.on_grow = meter.charge_nodes
+    level_stats: List[Dict[str, object]] = []
+    forward = encoding.transitions
+    sweep = forward + tuple(reversed(forward)) if chaining else forward
+    reached = encoding.initial
+    frontier = encoding.initial  # strict mode only
+    levels = 0
+    done = False
+    try:
+        while not done:
+            depth = levels
+            levels += 1
+            meter.level = depth
+            frontier_nodes = bdd.size(frontier if not chaining else reached)
+            started = time.perf_counter()
+            with obs_span("symbolic:level", engine="symbolic", level=depth,
+                          frontier_nodes=frontier_nodes) as level_span:
+                if chaining:
+                    working = reached
+                    for transition in sweep:
+                        image = _image(bdd, working, transition)
+                        if image != FALSE:
+                            working = bdd.apply_or(working, image)
+                    done = working == reached
+                    reached = working
+                else:
+                    new = FALSE
+                    for transition in sweep:
+                        image = _image(bdd, frontier, transition)
+                        if image != FALSE:
+                            new = bdd.apply_or(new, image)
+                    new = bdd.diff(new, reached)
+                    reached = bdd.apply_or(reached, new)
+                    frontier = new
+                    done = frontier == FALSE
+                meter.charge_nodes(bdd.node_count)
+                meter.check_clock()
+                if level_span is not None:
+                    level_span.set(reached_nodes=bdd.size(reached),
+                                   bdd_nodes=bdd.node_count)
+            level_stats.append({
+                "level": depth,
+                "frontier_nodes": frontier_nodes,
+                "reached_nodes": bdd.size(reached),
+                "bdd_nodes": bdd.node_count,
+                "seconds": round(time.perf_counter() - started, 6),
+            })
+            _heartbeat(meter, depth, frontier_nodes, bdd.node_count,
+                       force=done)
+    finally:
+        bdd.on_grow = None
+    state_count = bdd.count(reached, encoding.state_vars)
+    _record_run(levels, bdd.node_count, state_count)
+    return SymbolicReachability(
+        encoding=encoding, reached=reached, state_count=state_count,
+        levels=levels, chaining=chaining, node_count=bdd.node_count,
+        level_stats=level_stats)

@@ -81,6 +81,74 @@ class TestGoldenDigests:
         assert digest == golden["sweep_report_digest"]
 
 
+def _family_sources():
+    from repro.specs.families import (arbiter_tree, counter, fifo_chain,
+                                      micropipeline_chain)
+    return {"fifo_chain_2": fifo_chain(2),
+            "micropipeline_chain_1": micropipeline_chain(1),
+            "counter_2": counter(2),
+            "arbiter_tree_2": arbiter_tree(2)}
+
+
+class TestEngineParity:
+    """packed / tuples / symbolic must agree byte for byte.
+
+    Same reachable-state counts, same CSC/USC verdicts, same canonical
+    witnesses: the symbolic engine never materializes a state graph, so
+    its coding payload is compared against the explicit one rendered from
+    the generated SG.  Toggle specs (``counter``) exercise the unfolded
+    explicit path against the symbolic one.
+    """
+
+    def test_reachable_state_counts(self):
+        from repro.symbolic import encode_stg, symbolic_reach
+
+        sources = dict(_spec_sources(), **_family_sources())
+        for name, stg in sorted(sources.items()):
+            explicit = len(generate_sg(stg))
+            assert symbolic_reach(encode_stg(stg)).state_count \
+                == explicit, name
+
+    def test_tuples_engine_matches_golden_digests(self, golden):
+        for name, stg in sorted(_spec_sources().items()):
+            digest = digest_payload(
+                sg_to_payload(generate_sg(stg, engine="tuples")))
+            assert digest == golden["sg_payload_digests"][name], name
+
+    def test_coding_payloads_identical(self):
+        from repro.sg.properties import check_coding
+
+        sources = dict(_spec_sources(), **_family_sources())
+        for name, stg in sorted(sources.items()):
+            explicit = check_coding(stg, engine="auto").to_payload()
+            symbolic = check_coding(stg, engine="symbolic").to_payload()
+            assert explicit == symbolic, name
+            tuples = check_coding(stg, engine="tuples").to_payload()
+            assert tuples == explicit, name
+
+
+_SYMBOLIC_SEED_PROBE = """
+import json, sys
+from repro.pipeline.hashing import digest_payload
+from repro.sg.properties import check_coding
+from repro.specs import suite
+from repro.specs.families import counter
+from repro.symbolic import encode_stg, symbolic_reach
+
+out = {"coding": {}, "nodes": {}}
+for name in ("micropipeline", "vme_read"):
+    stg = suite.load(name)
+    out["coding"][name] = digest_payload(
+        check_coding(stg, engine="symbolic").to_payload())
+    run = symbolic_reach(encode_stg(stg))
+    out["nodes"][name] = [run.state_count, run.node_count, run.levels]
+stg = counter(2)
+out["coding"]["counter_2"] = digest_payload(
+    check_coding(stg, engine="symbolic").to_payload())
+json.dump(out, sys.stdout)
+"""
+
+
 _HASH_SEED_PROBE = """
 import json, sys
 from repro.pipeline.artifacts import sg_to_payload
@@ -106,21 +174,42 @@ json.dump(out, sys.stdout)
 """
 
 
+def _run_probe(probe, seed):
+    env = dict(os.environ, PYTHONHASHSEED=seed)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(Path(__file__).parents[1] / "src")]
+        + env.get("PYTHONPATH", "").split(os.pathsep))
+    proc = subprocess.run([sys.executable, "-c", probe],
+                          capture_output=True, text=True, env=env,
+                          check=True)
+    return json.loads(proc.stdout)
+
+
 class TestHashSeedIndependence:
     def test_digests_stable_across_hash_seeds(self, golden):
-        results = []
-        for seed in ("0", "4242"):
-            env = dict(os.environ, PYTHONHASHSEED=seed)
-            env["PYTHONPATH"] = os.pathsep.join(
-                [str(Path(__file__).parents[1] / "src")]
-                + env.get("PYTHONPATH", "").split(os.pathsep))
-            proc = subprocess.run([sys.executable, "-c", _HASH_SEED_PROBE],
-                                  capture_output=True, text=True, env=env,
-                                  check=True)
-            results.append(json.loads(proc.stdout))
+        results = [_run_probe(_HASH_SEED_PROBE, seed)
+                   for seed in ("0", "4242")]
         first, second = results
         assert first == second
         for name, digest in first["sg"].items():
             assert digest == golden["sg_payload_digests"][name], name
         assert (first["certificate"]
                 == golden["certificate_digests"]["half/full"])
+
+    def test_symbolic_stable_across_hash_seeds(self):
+        # BDD node ids are creation-ordered and every table is keyed by
+        # ints, so state counts, node counts, pass counts and coding
+        # payload digests must not move with the hash seed -- and the
+        # coding digests must equal the explicit engine's in-process.
+        first, second = [_run_probe(_SYMBOLIC_SEED_PROBE, seed)
+                         for seed in ("0", "4242")]
+        assert first == second
+        from repro.sg.properties import check_coding
+        from repro.specs.families import counter
+
+        for name in ("micropipeline", "vme_read"):
+            explicit = digest_payload(
+                check_coding(suite.load(name), engine="auto").to_payload())
+            assert first["coding"][name] == explicit, name
+        assert first["coding"]["counter_2"] == digest_payload(
+            check_coding(counter(2), engine="auto").to_payload())
