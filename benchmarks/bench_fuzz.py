@@ -1,0 +1,14 @@
+"""Differential fuzzing throughput over a seeded random-spec corpus.
+
+Thin shim over the registered case -- the workload, metrics and checks
+live in :mod:`repro.bench.cases.fuzzing` (``fuzz_throughput``): specs
+per second through the engines-only oracle (packed vs tuples state
+graphs, explicit vs symbolic coding), gated on zero divergences and a
+reproduced corpus digest.
+"""
+
+from repro.bench import pytest_case
+
+
+def test_fuzz_throughput(benchmark):
+    pytest_case("fuzz_throughput", benchmark)

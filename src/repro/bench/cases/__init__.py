@@ -14,6 +14,7 @@ shims over the registry.
 | ``engine``   | engine_scaling | ``bench_engine_scaling.py`` |
 | ``frontier`` | frontier_scaling | (new: shared exploration core) |
 | ``symbolic`` | symbolic_scaling | (new: BDD crossover) |
+| ``fuzzing``  | fuzz_throughput | (new: differential fuzz oracle) |
 | ``sweeps``   | sweep_throughput | ``bench_sweep.py`` |
 | ``pipelines``| pipeline_resume | ``bench_pipeline.py`` |
 | ``serving``  | serve_throughput | ``bench_serve.py`` |
@@ -21,4 +22,4 @@ shims over the registry.
 """
 
 from . import (figures, tables, engine, frontier, symbolic,  # noqa: F401
-               sweeps, pipelines, serving, verifying)
+               fuzzing, sweeps, pipelines, serving, verifying)

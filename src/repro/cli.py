@@ -551,6 +551,44 @@ def cmd_reduce(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_fuzz(args: argparse.Namespace) -> int:
+    from .specs.generate import GenKnobs, run_fuzz
+
+    knobs = GenKnobs(max_fragments=args.fragments,
+                     max_mutations=args.mutations,
+                     max_signals=args.max_signals)
+    report = run_fuzz(seed=args.seed, count=args.count, knobs=knobs,
+                      budget_states=args.budget,
+                      jobs_identity_every=args.jobs_identity_every,
+                      do_shrink=args.shrink,
+                      repro_dir=args.repro_dir)
+    # stdout is the deterministic record (byte-identical across runs and
+    # PYTHONHASHSEEDs); wall-clock goes to stderr.
+    print(f"corpus {report.corpus_digest}")
+    print(f"specs {len(report.results)} seed {report.seed} "
+          f"states {report.total_states} max {report.max_states}")
+    for check, count in sorted(report.check_counts().items()):
+        print(f"  {check:12s} {count}")
+    print(f"divergences {len(report.divergences)}")
+    for divergence, shrunk in zip(report.divergences, report.shrunk):
+        print(f"  {divergence.oracle}: {divergence.spec.name} -> "
+              f"{shrunk.spec.name} "
+              f"({len(shrunk.spec.build().net.transitions)} transitions, "
+              f"{shrunk.steps} shrink edits)")
+    for divergence in report.divergences[len(report.shrunk):]:
+        print(f"  {divergence.oracle}: {divergence.spec.name} (unshrunk)")
+    if args.manifest:
+        with open(args.manifest, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps(report.manifest(), indent=2,
+                                    sort_keys=True) + "\n")
+        print(f"wrote {args.manifest}", file=sys.stderr)
+    for path in report.repro_paths:
+        print(f"wrote {path}", file=sys.stderr)
+    rate = len(report.results) / report.seconds if report.seconds else 0.0
+    print(f"{report.seconds:.1f}s ({rate:.1f} specs/s)", file=sys.stderr)
+    return 1 if report.divergences else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -809,6 +847,42 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("file", help="trace file (JSON tree or Chrome "
                                     "trace_event format)")
     trace.set_defaults(func=cmd_trace)
+
+    fuzz = sub.add_parser(
+        "fuzz",
+        help="differential cross-engine fuzzing over random live-safe "
+             "specs, with automatic shrinking of divergences")
+    fuzz.add_argument("--seed", type=int, default=0,
+                      help="corpus seed; the run is byte-deterministic in "
+                           "(seed, count, knobs)")
+    fuzz.add_argument("--count", type=int, default=100,
+                      help="number of generated specs to check")
+    fuzz.add_argument("--fragments", type=int, default=3,
+                      help="max handshake fragments composed per spec")
+    fuzz.add_argument("--mutations", type=int, default=4,
+                      help="max correctness-preserving mutations per spec")
+    fuzz.add_argument("--max-signals", type=int, default=12,
+                      help="signal budget per generated spec")
+    fuzz.add_argument("--budget", type=int, default=50_000,
+                      help="per-spec exploration budget (states); "
+                           "exceedances must agree across engines")
+    fuzz.add_argument("--shrink", action=argparse.BooleanOptionalAction,
+                      default=True,
+                      help="reduce each divergence to a minimal repro "
+                           "spec before reporting")
+    fuzz.add_argument("--jobs-identity-every", type=int, default=0,
+                      metavar="N",
+                      help="byte-compare a spawned-process synth job "
+                           "against the in-process one on every N-th "
+                           "spec (0: off)")
+    fuzz.add_argument("--manifest", metavar="PATH",
+                      help="write the JSON corpus manifest (digests plus "
+                           "one replayable genspec line per spec)")
+    fuzz.add_argument("--repro-dir", metavar="DIR",
+                      help="write shrunk divergence repro files here "
+                           "(default: none)")
+    add_trace_options(fuzz)
+    fuzz.set_defaults(func=cmd_fuzz)
     return parser
 
 

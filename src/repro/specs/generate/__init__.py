@@ -1,0 +1,25 @@
+"""Random live-safe STG generation and differential cross-engine fuzzing.
+
+Three layers (see ``docs/fuzzing.md``):
+
+* :mod:`.random` -- seeded, trace-based generation: a
+  :class:`~repro.specs.generate.random.GenSpec` is reproducible from one
+  line of JSON;
+* :mod:`.shrink` -- greedy delta-debugging over derivation traces with a
+  replayable shrink log;
+* :mod:`.differential` -- the fuzz oracle comparing the packed, tuple
+  and symbolic engines (plus pipeline cold/warm, process identity and
+  conformance) byte-for-byte, shrinking any divergence to a minimal
+  repro file.
+"""
+
+from .differential import (Divergence, FuzzReport, SpecResult, check_spec,
+                           run_fuzz, spec_seed)
+from .random import (GenKnobs, GenSpec, TraceError, build_from_trace,
+                     generate_spec)
+from .shrink import ShrinkResult, replay_shrink, shrink
+
+__all__ = ["Divergence", "FuzzReport", "GenKnobs", "GenSpec",
+           "ShrinkResult", "SpecResult", "TraceError", "build_from_trace",
+           "check_spec", "generate_spec", "replay_shrink", "run_fuzz",
+           "shrink", "spec_seed"]

@@ -1,0 +1,240 @@
+"""Greedy delta-debugging over derivation traces.
+
+The shrinker never edits a net: it edits the *trace* of a failing
+:class:`~repro.specs.generate.random.GenSpec` and replays it, so every
+intermediate candidate is itself a well-formed generated spec.  Three
+families of edits, tried greedily to a fixpoint:
+
+* **drop** one step (fragments or mutations; mutations first, since
+  dropping a fragment renames every composed place);
+* **simplify** one step in place -- a fragment shape moves down the
+  ladder (``micropipeline -> fifo -> link``), a ``choice`` or ``widen``
+  mutation collapses to a plain ``insert``;
+* **retarget** -- when dropping or simplifying a fragment breaks the
+  place names later mutations reference, the candidate rebinds each
+  broken mutation to an eligible place of the rebuilt prefix (a
+  parameter shrink).
+
+A candidate is accepted when it still builds, the caller's failure
+predicate still holds, and it is strictly smaller (fewer trace steps, or
+the same steps deriving a net with fewer transitions -- places break
+ties).  Accepted edits
+are returned as a replayable shrink log: :func:`replay_shrink` applies
+the log to the original spec and reproduces the shrunk spec
+byte-for-byte.  At the fixpoint no single step is removable -- the
+minimality the fuzz repro files promise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Mapping, Optional, Tuple
+
+from ...petri.compose import compose_all
+from ..fragments import SIMPLER_SHAPE, build_fragment
+from .random import (GenSpec, TraceError, apply_step, build_from_trace,
+                     eligible_places, spec_name)
+
+__all__ = ["ShrinkResult", "replay_shrink", "shrink"]
+
+#: How many eligible prefix places a retargeting candidate scans.
+RETARGET_FANOUT = 4
+
+Trace = Tuple[Mapping[str, object], ...]
+Predicate = Callable[[GenSpec], bool]
+
+
+@dataclass
+class ShrinkResult:
+    """The minimal spec plus the replayable path that reached it."""
+
+    spec: GenSpec
+    log: List[Dict[str, object]] = field(default_factory=list)
+    attempts: int = 0
+    invalid: int = 0
+    rounds: int = 0
+
+    @property
+    def steps(self) -> int:
+        """Accepted shrink edits (the log length)."""
+        return len(self.log)
+
+
+def replay_shrink(spec: GenSpec, log: List[Mapping[str, object]]
+                  ) -> GenSpec:
+    """Apply a shrink log to ``spec``; returns the shrunk spec.
+
+    Byte-identical to the :class:`ShrinkResult` the log came from --
+    the property ``tests/test_generate.py`` pins.
+    """
+    trace = list(spec.trace)
+    for entry in log:
+        action = entry.get("action")
+        if action == "drop":
+            del trace[int(entry["index"])]
+            # A fragment drop may carry the retargeting edits that keep
+            # later mutations aimed at places that still exist.
+            for index, step in entry.get("edits", ()):
+                trace[int(index)] = step
+        elif action == "edit":
+            for index, step in entry["edits"]:
+                trace[int(index)] = step
+        else:
+            raise ValueError(f"unknown shrink-log action {action!r}")
+    return GenSpec(seed=spec.seed, knobs=spec.knobs, trace=tuple(trace))
+
+
+def _size(trace: Trace) -> Optional[Tuple[int, int]]:
+    """(transitions, places) of the derived net; None when it does not
+    build.  Places break transition-count ties so e.g. a micropipeline
+    still simplifies to the equally-wide but place-poorer fifo."""
+    try:
+        net = build_from_trace(trace).net
+    except TraceError:
+        return None
+    return len(net.transitions), len(net.place_names)
+
+
+def _split(trace: Trace) -> Tuple[List[Mapping[str, object]],
+                                  List[Mapping[str, object]]]:
+    fragments: List[Mapping[str, object]] = []
+    rest = list(trace)
+    while rest and rest[0].get("op") == "fragment":
+        fragments.append(rest.pop(0))
+    return fragments, rest
+
+
+def _retargeted(fragments: List[Mapping[str, object]],
+                mutations: List[Mapping[str, object]],
+                choice: int) -> Optional[Trace]:
+    """Rebind mutations whose target place died with the new prefix.
+
+    Replays the trace incrementally; a mutation whose place is no longer
+    eligible is re-aimed at eligible place ``choice`` (mod the count) of
+    the net built so far.  Returns ``None`` when nothing needed
+    rebinding (the plain candidate already covers that case).
+    """
+    if not fragments:
+        return None
+    try:
+        stg = compose_all([build_fragment(str(step["shape"]), index)
+                           for index, step in enumerate(fragments)])
+    except KeyError:
+        return None
+    rebound = False
+    result: List[Mapping[str, object]] = list(fragments)
+    for step in mutations:
+        candidates = eligible_places(stg)
+        if not candidates:
+            return None
+        new_step = dict(step)
+        if step.get("place") not in candidates:
+            new_step["place"] = candidates[choice % len(candidates)]
+            rebound = True
+        try:
+            apply_step(stg, new_step)
+        except TraceError:
+            return None
+        result.append(new_step)
+    if not rebound:
+        return None
+    return tuple(result)
+
+
+def _edits_entry(old: Trace, new: Trace) -> Dict[str, object]:
+    edits = [[index, new[index]] for index in range(len(old))
+             if new[index] != old[index]]
+    return {"action": "edit", "edits": edits}
+
+
+def _candidates(trace: Trace) -> Iterator[Tuple[Dict[str, object], Trace]]:
+    """All single-edit shrink candidates of ``trace``, smallest first."""
+    fragments, mutations = _split(trace)
+    # Drops, scanning from the end: mutations fall before the fragments
+    # whose place names they depend on.  Dropping a fragment renames the
+    # whole composition, so each fragment drop also comes in retargeted
+    # variants that re-aim the orphaned mutations.
+    for index in reversed(range(len(trace))):
+        dropped = trace[:index] + trace[index + 1:]
+        yield {"action": "drop", "index": index}, dropped
+        if index >= len(fragments):
+            continue
+        fewer = [step for i, step in enumerate(fragments) if i != index]
+        for choice in range(RETARGET_FANOUT):
+            rebound = _retargeted(fewer, mutations, choice)
+            if rebound is None:
+                continue
+            yield ({"action": "drop", "index": index,
+                    "edits": _edits_entry(dropped, rebound)["edits"]},
+                   rebound)
+    # Fragment simplification down the shape ladder, with retargeting
+    # variants for the mutations the rename breaks.
+    for index, step in enumerate(fragments):
+        for simpler in SIMPLER_SHAPE.get(str(step.get("shape")), ()):
+            new_fragments = list(fragments)
+            new_fragments[index] = {"op": "fragment", "shape": simpler}
+            plain = tuple(new_fragments) + tuple(mutations)
+            yield _edits_entry(trace, plain), plain
+            for choice in range(RETARGET_FANOUT):
+                rebound = _retargeted(new_fragments, mutations, choice)
+                if rebound is not None:
+                    yield _edits_entry(trace, rebound), rebound
+    # Mutation simplification: choice/widen collapse to a plain insert.
+    offset = len(fragments)
+    for index, step in enumerate(mutations):
+        op = str(step.get("op"))
+        if op == "choice":
+            simpler_step: Dict[str, object] = {
+                "op": "insert", "place": step["place"],
+                "signal": step["signals"][0]}
+        elif op == "widen":
+            simpler_step = {"op": "insert", "place": step["place"],
+                            "signal": step["signal"]}
+        else:
+            continue
+        new = (trace[:offset + index] + (simpler_step,)
+               + trace[offset + index + 1:])
+        yield {"action": "edit",
+               "edits": [[offset + index, simpler_step]]}, new
+
+
+def shrink(spec: GenSpec, predicate: Predicate,
+           max_rounds: int = 64) -> ShrinkResult:
+    """Reduce ``spec`` to a minimal failing spec under ``predicate``.
+
+    ``predicate`` receives a buildable candidate :class:`GenSpec` and
+    returns True when the failure still reproduces; exceptions it raises
+    propagate (oracles decide what failure means, not the shrinker).
+    Greedy first-improvement to a fixpoint, bounded by ``max_rounds``.
+    """
+    result = ShrinkResult(spec=spec)
+    current = spec.trace
+    size = _size(current)
+    if size is None:
+        raise TraceError(f"cannot shrink {spec_name(spec.trace)}: the "
+                         "original trace does not build")
+    while result.rounds < max_rounds:
+        result.rounds += 1
+        improved = False
+        for entry, candidate_trace in _candidates(current):
+            result.attempts += 1
+            candidate_size = _size(candidate_trace)
+            if candidate_size is None:
+                result.invalid += 1
+                continue
+            shorter = len(candidate_trace) < len(current)
+            if not shorter and candidate_size >= size:
+                continue
+            candidate = GenSpec(seed=spec.seed, knobs=spec.knobs,
+                                trace=candidate_trace)
+            if not predicate(candidate):
+                continue
+            current = candidate_trace
+            size = candidate_size
+            result.log.append(entry)
+            improved = True
+            break
+        if not improved:
+            break
+    result.spec = GenSpec(seed=spec.seed, knobs=spec.knobs, trace=current)
+    return result

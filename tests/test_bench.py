@@ -125,10 +125,10 @@ def test_legacy_report_metrics_have_homes():
             assert key in case.info_keys, f"{case_name} lost info {key}"
 
 
-def test_registry_covers_all_sixteen_benchmarks():
+def test_registry_covers_all_seventeen_benchmarks():
     names = bench.case_names()
-    assert len(names) == 16
-    assert len(set(names)) == 16
+    assert len(names) == 17
+    assert len(set(names)) == 17
     assert set(bench.case_names("quick")) | set(bench.case_names("full")) \
         == set(names)
     # Every registered case is reachable from a thin benchmarks/ shim.
@@ -143,7 +143,7 @@ def test_select_cases():
     assert [c.name for c in select_cases(names=["table1_lr"])] \
         == ["table1_lr"]
     assert all(c.tier == "quick" for c in select_cases(tier="quick"))
-    assert len(select_cases(tier="all")) == 16
+    assert len(select_cases(tier="all")) == 17
     with pytest.raises(KeyError):
         select_cases(names=["no_such_case"])
     with pytest.raises(KeyError):

@@ -1,0 +1,160 @@
+"""The differential fuzz oracle.
+
+Two halves:
+
+* **equivalence over the seeded corpus** -- the committed anchor in
+  ``tests/data/fuzz_corpus.json`` pins the corpus digest of a clean
+  10-spec run (and documents the 10k-spec engines-only run), extending
+  the golden-digest approach of ``tests/test_equivalence.py`` to
+  generated specs;
+* **the harness catches bugs** -- a deliberately corrupted tuple-engine
+  firing rule must be detected as an ``sg`` divergence, shrunk to a
+  repro of at most 6 transitions, and written as a replayable repro
+  file.
+"""
+
+import json
+from pathlib import Path
+
+from repro.petri.net import PetriNet
+from repro.specs.generate import (GenKnobs, GenSpec, TraceError,
+                                  build_from_trace, check_spec,
+                                  generate_spec, replay_shrink, run_fuzz,
+                                  spec_seed)
+from repro.specs.generate.shrink import _candidates
+
+DATA = Path(__file__).parent / "data"
+ANCHORS = json.loads((DATA / "fuzz_corpus.json").read_text())
+REPRO_DIR = DATA / "fuzz_repros"
+
+
+class TestCorpusEquivalence:
+    def test_quick_corpus_matches_anchor(self):
+        anchor = ANCHORS["quick"]
+        report = run_fuzz(seed=anchor["seed"], count=anchor["count"])
+        assert not report.divergences, [
+            d.to_payload() for d in report.divergences]
+        assert report.corpus_digest == anchor["corpus_digest"]
+        assert report.total_states == anchor["total_states"]
+        assert report.max_states == anchor["max_states"]
+        assert report.check_counts() == anchor["check_counts"]
+
+    def test_manifest_replays(self):
+        small = GenKnobs(max_fragments=1, max_mutations=2, max_signals=6)
+        report = run_fuzz(seed=1, count=3, knobs=small, pipeline_limit=0)
+        manifest = report.manifest()
+        assert manifest["corpus_digest"] == report.corpus_digest
+        for entry, result in zip(manifest["specs"], report.results):
+            spec = GenSpec.from_json(entry["genspec"])
+            assert spec == result.spec
+            assert spec.digest == entry["spec"]
+
+    def test_budget_exceedance_is_not_a_divergence(self):
+        # Both explicit engines must exceed a tiny budget the same way:
+        # normalized error records compare equal, digests stay unset.
+        spec = generate_spec(spec_seed(0, 0))
+        result = check_spec(spec, budget_states=4)
+        assert "sg" in result.checks
+        assert result.sg_digest is None
+        assert not result.divergences
+
+    def test_jobs_identity_on_a_small_spec(self):
+        # The spawned-worker leg: one job evaluated in a fresh process
+        # must serialize to the same bytes as the in-process run.
+        spec = generate_spec(spec_seed(0, 1))
+        result = check_spec(spec, jobs_identity=True)
+        assert "jobs" in result.checks
+        assert not result.divergences
+
+    def test_committed_repros_stay_fixed(self):
+        # Every committed repro documents a divergence that has since
+        # been fixed; replaying it must come back clean (see the README
+        # in the repro directory).
+        for path in sorted(REPRO_DIR.glob("*.json")):
+            payload = json.loads(path.read_text())
+            spec = GenSpec.from_json(payload["genspec"])
+            result = check_spec(spec)
+            assert not result.divergences, path.name
+
+
+def _corrupted_fire(real_fire):
+    """A tuple-engine firing rule with a wrong delta for ``x0+``.
+
+    The injected bug of the acceptance criterion: firing ``x0+`` fails
+    to consume one pre-place token, so only the tuples exploration core
+    (the packed core never calls :meth:`fire_incremental`) derives a
+    wrong successor marking.
+    """
+
+    def fire(self, transition, marking, enabled):
+        successor, updated = real_fire(self, transition, marking, enabled)
+        if transition.startswith("x0+"):
+            compiled = self._compile()
+            counts = list(successor)
+            for index, weight in compiled.pre[transition]:
+                counts[index] += weight
+                break
+            successor = tuple(counts)
+        return successor, updated
+    return fire
+
+
+def _spec_with_x0():
+    for index in range(50):
+        spec = generate_spec(spec_seed(0, index))
+        if any(step.get("signal") == "x0" for step in spec.trace):
+            return spec
+    raise AssertionError("no corpus spec with an x0 mutation")
+
+
+class TestInjectedBug:
+    def test_detected_shrunk_and_written(self, monkeypatch, tmp_path):
+        spec = _spec_with_x0()
+        assert spec == generate_spec(spec_seed(0, 0))  # corpus member 0
+        monkeypatch.setattr(
+            PetriNet, "fire_incremental",
+            _corrupted_fire(PetriNet.fire_incremental))
+
+        # One fuzz pass over the corrupted engine: detection, shrinking
+        # and the repro file all in the same loop the CLI runs.
+        report = run_fuzz(seed=0, count=1, pipeline_limit=0,
+                          repro_dir=str(tmp_path))
+        assert [d.oracle for d in report.divergences] == ["sg"]
+        shrunk = report.shrunk[0]
+        transitions = len(shrunk.spec.build().net.transitions)
+        assert transitions <= 6
+        assert len(shrunk.spec.trace) < len(spec.trace)
+        # The minimum still carries the corrupted signal and still fails.
+        assert any(step.get("signal") == "x0"
+                   for step in shrunk.spec.trace)
+        still = check_spec(shrunk.spec, pipeline_limit=0)
+        assert [d.oracle for d in still.divergences] == ["sg"]
+        # The shrink log replays byte-for-byte.
+        assert replay_shrink(spec, shrunk.log) == shrunk.spec
+        # ... and the minimum really is minimal: no remaining step can
+        # be dropped without losing the divergence.
+        for entry, candidate in _candidates(shrunk.spec.trace):
+            if entry["action"] != "drop":
+                continue
+            try:
+                build_from_trace(candidate)
+            except TraceError:
+                continue
+            smaller = GenSpec(seed=spec.seed, knobs=spec.knobs,
+                              trace=candidate)
+            assert not check_spec(smaller,
+                                  pipeline_limit=0).divergences, entry
+
+        [path] = [Path(p) for p in report.repro_paths]
+        payload = json.loads(path.read_text())
+        assert payload["oracle"] == "sg"
+        assert payload["transitions"] == transitions
+        assert GenSpec.from_json(payload["genspec"]) == shrunk.spec
+        assert replay_shrink(GenSpec.from_json(payload["shrunk_from"]),
+                             payload["shrink_log"]) == shrunk.spec
+
+    def test_engines_agree_again_without_the_bug(self):
+        # The same specs, unpatched: no divergence (so the injected-bug
+        # test is really exercising the corruption, not a latent bug).
+        spec = _spec_with_x0()
+        assert not check_spec(spec, pipeline_limit=0).divergences

@@ -11,6 +11,7 @@ under different ``PYTHONHASHSEED`` values to prove that independence
 rather than assume it.
 """
 
+import functools
 import json
 import os
 import subprocess
@@ -23,10 +24,6 @@ from repro.pipeline.artifacts import sg_to_payload
 from repro.pipeline.hashing import digest_payload
 from repro.sg.generator import generate_sg
 from repro.specs import suite
-from repro.specs.fig1 import fig1_stg
-from repro.specs.lr import lr_expanded
-from repro.specs.mmu import mmu_expanded
-from repro.specs.par import par_expanded
 
 GOLDEN_PATH = Path(__file__).parent / "data" / "golden_equivalence.json"
 
@@ -36,11 +33,33 @@ def golden():
     return json.loads(GOLDEN_PATH.read_text())
 
 
+@functools.lru_cache(maxsize=None)
+def _cached_source(name):
+    # Imports and spec construction stay lazy: `pytest -x -q` collection
+    # (and tests that need one spec) must not pay for the whole suite.
+    if name == "fig1":
+        from repro.specs.fig1 import fig1_stg
+        return fig1_stg()
+    if name == "lr":
+        from repro.specs.lr import lr_expanded
+        return lr_expanded()
+    if name == "mmu":
+        from repro.specs.mmu import mmu_expanded
+        return mmu_expanded()
+    if name == "par":
+        from repro.specs.par import par_expanded
+        return par_expanded()
+    return suite.load(name)
+
+
+def _spec_source(name):
+    # Copies keep the cache immune to any in-test mutation.
+    return _cached_source(name).copy()
+
+
 def _spec_sources():
-    sources = {name: suite.load(name) for name in suite.suite_names()}
-    sources.update(fig1=fig1_stg(), lr=lr_expanded(), mmu=mmu_expanded(),
-                   par=par_expanded())
-    return sources
+    names = list(suite.suite_names()) + ["fig1", "lr", "mmu", "par"]
+    return {name: _spec_source(name) for name in names}
 
 
 def _certificate_digest(label):
@@ -48,7 +67,7 @@ def _certificate_digest(label):
     from repro.verify import verify_netlist
 
     name, strategy = label.split("/")
-    sg = generate_sg(_spec_sources()[name])
+    sg = generate_sg(_spec_source(name))
     impl = run_flow_stg(None, strategy=strategy, initial_sg=sg,
                         name=label).report
     report, _ = verify_netlist(impl.circuit.netlist, impl.resolved_sg,
